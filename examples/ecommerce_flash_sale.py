@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""E-commerce flash sale: why the inconsistency window costs money.
+
+The paper motivates its controller with an e-commerce scenario: when the
+inconsistency window grows, the chance of a double booking grows with it, and
+every double booking has a compensation cost.  This example runs the same
+flash-sale load trace (a calm morning followed by a sudden sale spike) twice:
+
+* a **static** deployment that keeps its launch-day configuration, and
+* the **SLA-driven** controller, which watches the inconsistency window and
+  reconfigures / re-provisions when the spike arrives,
+
+and prints SLA compliance, observed staleness, conflict (double-booking)
+events and the resulting cost side by side.
+
+Run with::
+
+    python examples/ecommerce_flash_sale.py
+"""
+
+from __future__ import annotations
+
+from repro import ClusterConfig, NodeConfig, Simulation, SimulationConfig, WorkloadSpec
+from repro.core.controller import ControllerConfig
+from repro.cost import CompensationRates
+from repro.experiments.scenarios import standard_sla
+from repro.experiments.tables import ResultTable
+from repro.workload import BALANCED, FlashCrowdLoad, NoisyLoad
+
+DURATION = 1200.0
+
+
+def run_policy(policy: str, seed: int = 11):
+    """Run the flash-sale trace under one operating policy."""
+    load = NoisyLoad(
+        FlashCrowdLoad(
+            base_rate=40.0,
+            spike_rate=170.0,
+            spike_start=DURATION * 0.4,
+            ramp_duration=60.0,
+            hold_duration=240.0,
+            decay_duration=240.0,
+        ),
+        amplitude=0.08,
+    )
+    config = SimulationConfig(
+        seed=seed,
+        duration=DURATION,
+        cluster=ClusterConfig(
+            initial_nodes=3, replication_factor=3, node=NodeConfig(ops_capacity=150.0)
+        ),
+        workload=WorkloadSpec(record_count=4_000, operation_mix=BALANCED, load_shape=load),
+        sla=standard_sla(),
+        controller=ControllerConfig(policy=policy, evaluation_interval=20.0),
+        # Double bookings are expensive: a stale read older than a second that
+        # the application acted on costs a compensation voucher.
+        compensation_rates=CompensationRates(
+            stale_read=0.005, conflict_event=0.5, conflict_staleness_threshold=1.0
+        ),
+        label=f"flash-sale-{policy}",
+    )
+    return Simulation(config).run()
+
+
+def main() -> None:
+    table = ResultTable(
+        "E-commerce flash sale: static vs SLA-driven",
+        [
+            "policy",
+            "sla_violation_%",
+            "stale_reads",
+            "conflict_events",
+            "window_p95_ms",
+            "read_p95_ms",
+            "final_nodes",
+            "node_hours",
+            "compensation_cost",
+            "total_cost",
+        ],
+    )
+    for policy in ("static", "sla_driven"):
+        report = run_policy(policy)
+        compensation = report.cost.details
+        table.add_row(
+            {
+                "policy": policy,
+                "sla_violation_%": report.sla_summary["violation_fraction"] * 100.0,
+                "stale_reads": report.staleness["stale_reads"],
+                "conflict_events": compensation.get("compensation.conflict_events", 0.0),
+                "window_p95_ms": report.ground_truth_window["p95_window"] * 1000.0,
+                "read_p95_ms": report.workload_summary["read_p95_ms"],
+                "final_nodes": report.final_configuration["node_count"],
+                "node_hours": report.cost.node_hours,
+                "compensation_cost": report.cost.compensation_cost,
+                "total_cost": report.cost.total_cost,
+            }
+        )
+    print(table.render())
+    print()
+    print(
+        "The static deployment rides the spike with its launch configuration: the\n"
+        "inconsistency window stretches into the hundreds of milliseconds, latency\n"
+        "blows through the SLA and stale reads turn into double bookings.  The\n"
+        "SLA-driven controller spends a few extra node-hours to keep the window and\n"
+        "the SLA under control during the sale; its own scale-out causes a brief\n"
+        "consistency transient (the E4 effect), which is why its compensation line\n"
+        "is not zero either."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Comparing inconsistency-window monitoring techniques (research question 1).
+
+Runs one loaded scenario with all three estimators active — active
+read-after-write probing, passive piggyback measurement on production traffic
+and the metric-only RTT model — and prints what each believed about the
+system next to the simulator's ground truth, together with the load and
+compute overhead each technique incurred.
+
+Run with::
+
+    python examples/monitoring_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ClusterConfig, ConstantLoad, NodeConfig, Simulation, SimulationConfig, WorkloadSpec
+from repro.core.controller import ControllerConfig
+from repro.experiments.tables import ResultTable
+from repro.workload import BALANCED
+
+
+def main() -> None:
+    config = SimulationConfig(
+        seed=33,
+        duration=600.0,
+        cluster=ClusterConfig(
+            initial_nodes=3, replication_factor=3, node=NodeConfig(ops_capacity=150.0)
+        ),
+        workload=WorkloadSpec(
+            record_count=4_000, operation_mix=BALANCED, load_shape=ConstantLoad(150.0)
+        ),
+        controller=ControllerConfig(policy="static"),
+        label="monitoring-comparison",
+    )
+    config.monitoring.probe.probe_interval = 2.0
+
+    simulation = Simulation(config)
+    report = simulation.run()
+
+    truth_mean = report.ground_truth_window["mean_window"] * 1000.0
+    truth_p95 = report.ground_truth_window["p95_window"] * 1000.0
+    truth_stale = report.staleness["stale_fraction"]
+
+    table = ResultTable(
+        "Inconsistency-window estimators vs ground truth",
+        [
+            "source",
+            "mean_window_ms",
+            "p95_window_ms",
+            "stale_fraction",
+            "extra_operations",
+            "probe_load_%",
+            "analysis_cpu_s",
+        ],
+    )
+    table.add_row(
+        {
+            "source": "ground truth",
+            "mean_window_ms": truth_mean,
+            "p95_window_ms": truth_p95,
+            "stale_fraction": truth_stale,
+            "extra_operations": 0,
+            "probe_load_%": 0.0,
+            "analysis_cpu_s": 0.0,
+        }
+    )
+    for name, estimator in simulation.estimators.items():
+        estimates = estimator.estimates()
+        mean_window = float(np.mean([e.mean_window for e in estimates])) if estimates else 0.0
+        p95_window = float(np.mean([e.p95_window for e in estimates])) if estimates else 0.0
+        stale = float(np.mean([e.stale_read_fraction for e in estimates])) if estimates else 0.0
+        overhead = report.monitoring_overhead[name]
+        table.add_row(
+            {
+                "source": name,
+                "mean_window_ms": mean_window * 1000.0,
+                "p95_window_ms": p95_window * 1000.0,
+                "stale_fraction": stale,
+                "extra_operations": overhead["probe_operations"],
+                "probe_load_%": overhead["probe_load_fraction"] * 100.0,
+                "analysis_cpu_s": overhead["analysis_cpu_seconds"],
+            }
+        )
+    print(table.render())
+    print()
+    print(
+        "Probing bounds the client-observable staleness at a configurable request\n"
+        "cost; piggyback measurement is free but only sees what production reads\n"
+        "happen to hit; the RTT model costs nothing and misses everything the\n"
+        "queueing formula cannot express (dropped mutations, repair backlogs)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: run one SLA-driven scenario end to end.
+
+This example builds the default stack — a 3-node eventually consistent
+cluster, a balanced Zipfian workload, the monitoring estimators and the
+SLA-driven autonomous controller — runs ten simulated minutes and prints the
+headline report: client latency, the ground-truth inconsistency window, SLA
+compliance, the actions the controller took and what the run cost.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusterConfig,
+    ConstantLoad,
+    NodeConfig,
+    Simulation,
+    SimulationConfig,
+    WorkloadSpec,
+)
+from repro.core.controller import ControllerConfig
+from repro.workload import BALANCED
+
+
+def main() -> None:
+    config = SimulationConfig(
+        seed=42,
+        duration=600.0,  # ten simulated minutes
+        cluster=ClusterConfig(
+            initial_nodes=3,
+            replication_factor=3,
+            node=NodeConfig(ops_capacity=150.0),
+        ),
+        workload=WorkloadSpec(
+            record_count=5_000,
+            operation_mix=BALANCED,
+            load_shape=ConstantLoad(140.0),
+        ),
+        controller=ControllerConfig(policy="sla_driven", evaluation_interval=30.0),
+        label="quickstart",
+    )
+
+    simulation = Simulation(config)
+    report = simulation.run()
+
+    print("=== quickstart: SLA-driven autonomous operation ===")
+    print(f"simulated duration : {report.duration:.0f} s")
+    print(f"events processed   : {report.events_processed:,}")
+    print()
+    print("--- client-observed performance ---")
+    workload = report.workload_summary
+    print(f"operations issued  : {workload['operations_issued']:.0f}")
+    print(f"read  p95 latency  : {workload['read_p95_ms']:.1f} ms")
+    print(f"write p95 latency  : {workload['write_p95_ms']:.1f} ms")
+    print(f"failed operations  : {workload['failure_fraction'] * 100:.2f} %")
+    print()
+    print("--- consistency ---")
+    window = report.ground_truth_window
+    print(f"inconsistency window (mean) : {window['mean_window'] * 1000:.1f} ms")
+    print(f"inconsistency window (p95)  : {window['p95_window'] * 1000:.1f} ms")
+    print(f"stale reads observed        : {report.staleness['stale_reads']:.0f} "
+          f"({report.staleness['stale_fraction'] * 100:.2f} % of reads)")
+    print()
+    print("--- SLA and controller ---")
+    print(f"SLA violation fraction : {report.sla_summary['violation_fraction'] * 100:.1f} %")
+    print(f"controller rounds      : {report.controller_summary['rounds']:.0f}")
+    print(f"actions executed       : {report.controller_summary['actions_executed']:.0f}")
+    print(f"final configuration    : {report.final_configuration}")
+    print()
+    print("--- cost ---")
+    print(f"node hours          : {report.cost.node_hours:.2f}")
+    print(f"infrastructure cost : {report.cost.infrastructure_cost:.3f}")
+    print(f"compensation cost   : {report.cost.compensation_cost:.3f}")
+    print(f"total cost          : {report.cost.total_cost:.3f}")
+
+
+if __name__ == "__main__":
+    main()

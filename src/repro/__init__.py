@@ -1,0 +1,90 @@
+"""repro — SLA-driven monitoring and smart auto-scaling of NoSQL systems.
+
+A full-system reproduction of Schoonjans, Lagaisse & Joosen, *Advanced
+monitoring and smart auto-scaling of NoSQL systems* (Middleware Doctoral
+Symposium 2015), built on a discrete-event-simulated, Dynamo/Cassandra-style
+eventually consistent store.
+
+Public API highlights
+---------------------
+* :class:`~repro.runner.Simulation` / :class:`~repro.runner.SimulationConfig`
+  — run a complete scenario (cluster + workload + monitoring + controller).
+* :class:`~repro.cluster.Cluster` — the store substrate and its knobs.
+* :class:`~repro.core.AutonomousController` — the SLA-driven MAPE-K
+  controller (the paper's contribution) and the baseline policies.
+* :class:`~repro.core.SLA` and friends — SLAs with latency, availability and
+  staleness objectives.
+* :mod:`repro.monitoring` — inconsistency-window estimators (probe,
+  piggyback, RTT model) and their overhead accounting.
+* :mod:`repro.experiments` — the E1–E6 experiment harness behind the
+  benchmarks and EXPERIMENTS.md.
+"""
+
+from .cluster import Cluster, ClusterConfig, ConsistencyLevel, NodeConfig
+from .core import (
+    SLA,
+    AutonomousController,
+    AvailabilitySLO,
+    ControllerConfig,
+    LatencySLO,
+    PlannerConfig,
+    SLADrivenPolicy,
+    StalenessSLO,
+    ThroughputSLO,
+    default_sla,
+    make_policy,
+)
+from .runner import MonitoringOptions, Simulation, SimulationConfig, SimulationReport
+from .simulation import Simulator
+from .workload import (
+    BALANCED,
+    READ_HEAVY,
+    READ_ONLY,
+    WRITE_HEAVY,
+    ConstantLoad,
+    DiurnalLoad,
+    FlashCrowdLoad,
+    LoadShape,
+    OperationMix,
+    RampLoad,
+    StepLoad,
+    WorkloadSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationReport",
+    "MonitoringOptions",
+    "Simulator",
+    "Cluster",
+    "ClusterConfig",
+    "NodeConfig",
+    "ConsistencyLevel",
+    "AutonomousController",
+    "ControllerConfig",
+    "PlannerConfig",
+    "SLADrivenPolicy",
+    "make_policy",
+    "SLA",
+    "LatencySLO",
+    "AvailabilitySLO",
+    "StalenessSLO",
+    "ThroughputSLO",
+    "default_sla",
+    "WorkloadSpec",
+    "OperationMix",
+    "LoadShape",
+    "ConstantLoad",
+    "DiurnalLoad",
+    "FlashCrowdLoad",
+    "StepLoad",
+    "RampLoad",
+    "READ_HEAVY",
+    "BALANCED",
+    "WRITE_HEAVY",
+    "READ_ONLY",
+]

@@ -1,0 +1,159 @@
+"""Command-line interface.
+
+Two subcommands cover the common workflows without writing any Python:
+
+``run``
+    Run a single scenario (cluster + workload + monitoring + controller) and
+    print the headline report — the same thing ``examples/quickstart.py``
+    does, but parameterised from the command line::
+
+        python -m repro.cli run --policy sla_driven --duration 600 --rate 140
+
+``experiment``
+    Run one of the E1–E6 experiments (or ``all``) and print its regenerated
+    tables::
+
+        python -m repro.cli experiment E5 --scale 0.35
+
+The CLI is intentionally a thin veneer over the public API; everything it can
+do is also available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .cluster.cluster import ClusterConfig
+from .cluster.node import NodeConfig
+from .cluster.types import ConsistencyLevel
+from .core.controller import ControllerConfig
+from .experiments import EXPERIMENTS, run_all_experiments
+from .runner import Simulation, SimulationConfig
+from .workload.generator import WorkloadSpec
+from .workload.load_shapes import ConstantLoad, DiurnalLoad, FlashCrowdLoad
+from .workload.operations import BALANCED, READ_HEAVY, WRITE_HEAVY
+
+__all__ = ["build_parser", "build_simulation_config", "main"]
+
+_MIXES = {"read_heavy": READ_HEAVY, "balanced": BALANCED, "write_heavy": WRITE_HEAVY}
+_POLICIES = ("static", "overprovisioned", "reactive_threshold", "predictive", "sla_driven")
+_SHAPES = ("constant", "diurnal", "flash")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLA-driven monitoring and smart auto-scaling of NoSQL systems",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run a single scenario")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--duration", type=float, default=600.0, help="simulated seconds")
+    run_parser.add_argument("--nodes", type=int, default=3, help="initial node count")
+    run_parser.add_argument("--replication-factor", type=int, default=3)
+    run_parser.add_argument("--node-capacity", type=float, default=150.0, help="ops/s per node")
+    run_parser.add_argument("--rate", type=float, default=120.0, help="offered ops/s")
+    run_parser.add_argument("--mix", choices=sorted(_MIXES), default="balanced")
+    run_parser.add_argument("--shape", choices=_SHAPES, default="constant")
+    run_parser.add_argument("--policy", choices=_POLICIES, default="sla_driven")
+    run_parser.add_argument(
+        "--read-consistency", choices=[level.value for level in ConsistencyLevel], default="ONE"
+    )
+    run_parser.add_argument(
+        "--write-consistency", choices=[level.value for level in ConsistencyLevel], default="ONE"
+    )
+    run_parser.add_argument("--json", action="store_true", help="print the full report as JSON")
+
+    experiment_parser = subparsers.add_parser("experiment", help="run an E1-E6 experiment")
+    experiment_parser.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS) + ["all"], help="experiment id"
+    )
+    experiment_parser.add_argument("--seed", type=int, default=1)
+    experiment_parser.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def _build_load_shape(args: argparse.Namespace):
+    if args.shape == "constant":
+        return ConstantLoad(args.rate)
+    if args.shape == "diurnal":
+        return DiurnalLoad(
+            trough_rate=args.rate * 0.3, peak_rate=args.rate, period=args.duration
+        )
+    return FlashCrowdLoad(
+        base_rate=args.rate * 0.4,
+        spike_rate=args.rate,
+        spike_start=args.duration * 0.4,
+        ramp_duration=max(30.0, args.duration * 0.05),
+        hold_duration=args.duration * 0.2,
+        decay_duration=args.duration * 0.2,
+    )
+
+
+def build_simulation_config(args: argparse.Namespace) -> SimulationConfig:
+    """Translate parsed ``run`` arguments into a :class:`SimulationConfig`."""
+    return SimulationConfig(
+        seed=args.seed,
+        duration=args.duration,
+        cluster=ClusterConfig(
+            initial_nodes=args.nodes,
+            replication_factor=min(args.replication_factor, args.nodes),
+            read_consistency=ConsistencyLevel(args.read_consistency),
+            write_consistency=ConsistencyLevel(args.write_consistency),
+            node=NodeConfig(ops_capacity=args.node_capacity),
+        ),
+        workload=WorkloadSpec(
+            record_count=5_000,
+            operation_mix=_MIXES[args.mix],
+            load_shape=_build_load_shape(args),
+        ),
+        controller=ControllerConfig(policy=args.policy),
+        label=f"cli-{args.policy}",
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    report = Simulation(build_simulation_config(args)).run()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, default=str))
+        return 0
+    print(f"scenario          : {report.label} (seed {report.seed})")
+    for key, value in report.headline().items():
+        print(f"{key:24s}: {value:.4f}")
+    print(f"final configuration     : {report.final_configuration}")
+    print(f"controller actions      : {report.controller_summary['actions_executed']:.0f}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        results = run_all_experiments(seed=args.seed, scale=args.scale)
+        for result in results.values():
+            print(result.render())
+            print()
+        return 0
+    module = EXPERIMENTS[args.experiment]
+    result = module.run(seed=args.seed, scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess only
+    sys.exit(main())

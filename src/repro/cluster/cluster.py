@@ -1,0 +1,754 @@
+"""Cluster facade: the eventually consistent store as one object.
+
+:class:`Cluster` wires together the ring, the nodes, the coordinator, the
+membership service, hinted handoff, read repair, anti-entropy and the data
+streamer, and exposes
+
+* a **client API** (:meth:`read` / :meth:`write`) used by the workload and
+  by the monitoring probes,
+* a **reconfiguration API** (consistency levels, replication factor,
+  add/remove/crash/recover node) used by the autonomous controller, and
+* an **observation API** (listeners and metric snapshots) used by the
+  monitoring subsystem, the ground-truth tracker and the cost model.
+
+The facade deliberately mirrors the operational surface of a real
+Cassandra-style cluster: the controller can only pull the levers a real
+operator could pull, and only sees what a real operator could measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..simulation.engine import Simulator
+from ..simulation.network import NetworkConfig, NetworkModel
+from .anti_entropy import AntiEntropyConfig, AntiEntropyService
+from .coordinator import CoordinatorConfig, RequestCoordinator
+from .errors import ConfigurationError, TopologyError, UnknownNodeError
+from .hinted_handoff import HintedHandoffConfig, HintedHandoffManager
+from .membership import MembershipConfig, MembershipService
+from .node import NodeConfig, StorageNode
+from .read_repair import ReadRepairConfig, ReadRepairer
+from .rebalance import DataStreamer, StreamingConfig, StreamSession
+from .ring import HashRing
+from .types import ConsistencyLevel, OperationType, ReadResult, WriteResult
+from .versioning import VersionStamp, VersionedValue, compare_versions
+
+__all__ = ["ClusterConfig", "Cluster", "ClusterListener"]
+
+
+@dataclass
+class ClusterConfig:
+    """Static configuration of the store and its initial deployment."""
+
+    initial_nodes: int = 3
+    replication_factor: int = 3
+    read_consistency: ConsistencyLevel = ConsistencyLevel.ONE
+    write_consistency: ConsistencyLevel = ConsistencyLevel.ONE
+    virtual_nodes: int = 32
+    node: NodeConfig = field(default_factory=NodeConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    membership: MembershipConfig = field(default_factory=MembershipConfig)
+    hinted_handoff: HintedHandoffConfig = field(default_factory=HintedHandoffConfig)
+    read_repair: ReadRepairConfig = field(default_factory=ReadRepairConfig)
+    anti_entropy: AntiEntropyConfig = field(default_factory=AntiEntropyConfig)
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
+    coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    max_nodes: int = 32
+    min_nodes: int = 1
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for inconsistent settings."""
+        if self.initial_nodes < 1:
+            raise ConfigurationError("initial_nodes must be >= 1")
+        if self.replication_factor < 1:
+            raise ConfigurationError("replication_factor must be >= 1")
+        if self.replication_factor > self.initial_nodes:
+            raise ConfigurationError(
+                "replication_factor cannot exceed the number of initial nodes "
+                f"({self.replication_factor} > {self.initial_nodes})"
+            )
+        if self.min_nodes < 1 or self.max_nodes < self.min_nodes:
+            raise ConfigurationError("require 1 <= min_nodes <= max_nodes")
+        if not (self.min_nodes <= self.initial_nodes <= self.max_nodes):
+            raise ConfigurationError(
+                "initial_nodes must lie within [min_nodes, max_nodes]"
+            )
+
+
+class ClusterListener:
+    """Base class for cluster observers; override any subset of the hooks."""
+
+    def on_write_acked(
+        self, key: str, stamp: VersionStamp, ack_time: float, replica_set: Sequence[str]
+    ) -> None:
+        """A write became visible to its client."""
+
+    def on_replica_applied(
+        self, key: str, stamp: VersionStamp, node_id: str, time: float, background: bool
+    ) -> None:
+        """A replica applied a version (foreground or background)."""
+
+    def on_operation_completed(self, result: object) -> None:
+        """A client operation finished (``ReadResult`` or ``WriteResult``)."""
+
+    def on_topology_changed(self, change: Dict[str, object]) -> None:
+        """A node joined, left, crashed or recovered."""
+
+    def on_reconfiguration(self, change: Dict[str, object]) -> None:
+        """A configuration knob changed (CL, RF, ...)."""
+
+
+class Cluster:
+    """The simulated eventually consistent NoSQL cluster."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: Optional[ClusterConfig] = None,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        self._simulator = simulator
+        self.config = config or ClusterConfig()
+        self.config.validate()
+
+        self.network = network or NetworkModel(simulator, self.config.network)
+        self.membership = MembershipService(simulator, self.network, self.config.membership)
+        self.ring = HashRing(self.config.virtual_nodes)
+        self.nodes: Dict[str, StorageNode] = {}
+        self._listeners: List[ClusterListener] = []
+        self._next_node_index = itertools.count(1)
+        self._coordinator_cursor = 0
+        self._replication_factor = self.config.replication_factor
+        self._read_consistency = self.config.read_consistency
+        self._write_consistency = self.config.write_consistency
+        self._known_keys: Set[str] = set()
+        self._known_keys_cache: Tuple[str, ...] = ()
+        self._known_keys_dirty = False
+        self._rng = simulator.streams.stream("cluster")
+
+        self.coordinator = RequestCoordinator(
+            simulator,
+            self.network,
+            self.ring,
+            self.nodes,
+            self.membership,
+            self.config.coordinator,
+        )
+        self.coordinator.on_write_acked = self._handle_write_acked
+        self.coordinator.on_replica_applied = self._handle_replica_applied
+        self.coordinator.on_operation_completed = self._handle_operation_completed
+
+        self.hinted_handoff = HintedHandoffManager(
+            simulator,
+            self.config.hinted_handoff,
+            deliver=self._deliver_background_write,
+            is_reachable=self._node_reachable,
+        )
+        self.read_repairer = ReadRepairer(
+            simulator,
+            self.config.read_repair,
+            deliver=self._deliver_background_write,
+        )
+        self.anti_entropy = AntiEntropyService(
+            simulator,
+            self.config.anti_entropy,
+            sample_keys=self._sample_keys,
+            replica_versions=self.replica_versions,
+            deliver=self._deliver_background_write,
+        )
+        self.streamer = DataStreamer(simulator, self.network, self.config.streaming)
+
+        for _ in range(self.config.initial_nodes):
+            self._create_node(initial=True)
+
+        self.reconfigurations: List[Dict[str, object]] = []
+        self.topology_changes: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: ClusterListener) -> None:
+        """Register an observer of cluster events."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ClusterListener) -> None:
+        """Unregister an observer."""
+        self._listeners = [entry for entry in self._listeners if entry is not listener]
+
+    def _handle_write_acked(
+        self, key: str, stamp: VersionStamp, ack_time: float, replica_set: Sequence[str]
+    ) -> None:
+        if key not in self._known_keys:
+            self._known_keys.add(key)
+            self._known_keys_dirty = True
+        for listener in self._listeners:
+            listener.on_write_acked(key, stamp, ack_time, replica_set)
+
+    def _handle_replica_applied(
+        self, key: str, stamp: VersionStamp, node_id: str, time: float, background: bool
+    ) -> None:
+        for listener in self._listeners:
+            listener.on_replica_applied(key, stamp, node_id, time, background)
+
+    def _handle_operation_completed(self, result: object) -> None:
+        for listener in self._listeners:
+            listener.on_operation_completed(result)
+
+    def _notify_topology(self, change: Dict[str, object]) -> None:
+        change = dict(change)
+        change["time"] = self._simulator.now
+        self.topology_changes.append(change)
+        for listener in self._listeners:
+            listener.on_topology_changed(change)
+
+    def _notify_reconfiguration(self, change: Dict[str, object]) -> None:
+        change = dict(change)
+        change["time"] = self._simulator.now
+        self.reconfigurations.append(change)
+        for listener in self._listeners:
+            listener.on_reconfiguration(change)
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def _create_node(
+        self, initial: bool, node_config: Optional[NodeConfig] = None
+    ) -> StorageNode:
+        node_id = f"node-{next(self._next_node_index)}"
+        node = StorageNode(
+            self._simulator,
+            node_id,
+            config=node_config or self.config.node,
+        )
+        self.nodes[node_id] = node
+        self.membership.register_node(node_id, is_up=lambda n=node: n.is_up)
+        if initial:
+            self.ring.add_node(node_id)
+        return node
+
+    def node_ids(self) -> Tuple[str, ...]:
+        """Identifiers of all nodes that are not removed."""
+        return tuple(
+            sorted(
+                node_id
+                for node_id, node in self.nodes.items()
+                if node.state.value != "removed"
+            )
+        )
+
+    def serving_node_ids(self) -> Tuple[str, ...]:
+        """Nodes currently able to coordinate and serve requests."""
+        return tuple(
+            sorted(
+                node_id for node_id, node in self.nodes.items() if node.serves_requests
+            )
+        )
+
+    def live_node_count(self) -> int:
+        """Number of nodes currently up (including joining/leaving)."""
+        return sum(1 for node in self.nodes.values() if node.is_up)
+
+    def ring_node_count(self) -> int:
+        """Number of nodes owning ranges on the ring."""
+        return self.ring.size
+
+    # ------------------------------------------------------------------
+    # Configuration state
+    # ------------------------------------------------------------------
+    @property
+    def replication_factor(self) -> int:
+        """Current replication factor."""
+        return self._replication_factor
+
+    @property
+    def read_consistency(self) -> ConsistencyLevel:
+        """Current default read consistency level."""
+        return self._read_consistency
+
+    @property
+    def write_consistency(self) -> ConsistencyLevel:
+        """Current default write consistency level."""
+        return self._write_consistency
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def _pick_coordinator(self) -> Optional[str]:
+        serving = self.serving_node_ids()
+        if not serving:
+            return None
+        self._coordinator_cursor = (self._coordinator_cursor + 1) % len(serving)
+        return serving[self._coordinator_cursor]
+
+    def write(
+        self,
+        key: str,
+        value: bytes = b"",
+        on_complete: Optional[Callable[[WriteResult], None]] = None,
+        consistency_level: Optional[ConsistencyLevel] = None,
+        operation: OperationType = OperationType.WRITE,
+        size: Optional[int] = None,
+    ) -> None:
+        """Issue a client write; the result is delivered to ``on_complete``."""
+        level = consistency_level or self._write_consistency
+        coordinator_id = self._pick_coordinator()
+        callback = on_complete or (lambda result: None)
+        if coordinator_id is None:
+            result = WriteResult(
+                key=key,
+                operation=operation,
+                issued_at=self._simulator.now,
+                completed_at=self._simulator.now,
+                success=False,
+                error="no serving nodes",
+                consistency_level=level,
+            )
+            self._handle_operation_completed(result)
+            callback(result)
+            return
+        self.coordinator.execute_write(
+            key,
+            value,
+            coordinator_id,
+            self._replication_factor,
+            level,
+            on_complete=callback,
+            operation=operation,
+            size=size,
+            store_hint=self.hinted_handoff.store,
+        )
+
+    def read(
+        self,
+        key: str,
+        on_complete: Optional[Callable[[ReadResult], None]] = None,
+        consistency_level: Optional[ConsistencyLevel] = None,
+        operation: OperationType = OperationType.READ,
+    ) -> None:
+        """Issue a client read; the result is delivered to ``on_complete``."""
+        level = consistency_level or self._read_consistency
+        coordinator_id = self._pick_coordinator()
+        callback = on_complete or (lambda result: None)
+        if coordinator_id is None:
+            result = ReadResult(
+                key=key,
+                operation=operation,
+                issued_at=self._simulator.now,
+                completed_at=self._simulator.now,
+                success=False,
+                error="no serving nodes",
+                consistency_level=level,
+            )
+            self._handle_operation_completed(result)
+            callback(result)
+            return
+        self.coordinator.execute_read(
+            key,
+            coordinator_id,
+            self._replication_factor,
+            level,
+            on_complete=callback,
+            operation=operation,
+            inspect_responses=self.read_repairer.inspect,
+        )
+
+    def preload(self, items: Dict[str, bytes], sizes: Optional[Dict[str, int]] = None) -> int:
+        """Load records directly into every replica, bypassing the data path.
+
+        Used to populate the store before an experiment starts (the
+        equivalent of YCSB's load phase).  Each record is applied to all of
+        its replicas with a version stamped at the current time, and is
+        registered as acknowledged so that later reads have a ground-truth
+        reference.  Returns the number of records loaded.
+        """
+        loaded = 0
+        now = self._simulator.now
+        for key, value in items.items():
+            stamp = VersionStamp(timestamp=now, sequence=next(self.coordinator._sequence))
+            size = (sizes or {}).get(key, self.config.coordinator.default_value_size)
+            version = VersionedValue(stamp=stamp, value=value, write_id=0, size=size)
+            replicas = self.ring.preference_list(key, self._replication_factor)
+            if not replicas:
+                continue
+            for node_id in replicas:
+                node = self.nodes.get(node_id)
+                if node is not None and node.is_up:
+                    node.storage.apply(key, version)
+            self.coordinator.acked_registry.record_ack(key, stamp, now)
+            self._known_keys.add(key)
+            loaded += 1
+        self._known_keys_dirty = True
+        return loaded
+
+    # ------------------------------------------------------------------
+    # Background write plumbing (hints, repairs, anti-entropy)
+    # ------------------------------------------------------------------
+    def _deliver_background_write(
+        self, target_node: str, key: str, version: VersionedValue
+    ) -> bool:
+        source = self._pick_coordinator() or target_node
+        return self.coordinator.background_write(target_node, key, version, source)
+
+    def _node_reachable(self, node_id: str) -> bool:
+        node = self.nodes.get(node_id)
+        return node is not None and node.is_up
+
+    def _sample_keys(self, count: int) -> Sequence[str]:
+        if self._known_keys_dirty or not self._known_keys_cache:
+            self._known_keys_cache = tuple(self._known_keys)
+            self._known_keys_dirty = False
+        if not self._known_keys_cache:
+            return ()
+        if count >= len(self._known_keys_cache):
+            return self._known_keys_cache
+        indexes = self._rng.choice(len(self._known_keys_cache), size=count, replace=False)
+        return tuple(self._known_keys_cache[int(i)] for i in indexes)
+
+    def replica_versions(self, key: str) -> Dict[str, Optional[VersionedValue]]:
+        """Versions of ``key`` held by its current replica set (None = missing)."""
+        versions: Dict[str, Optional[VersionedValue]] = {}
+        for node_id in self.ring.preference_list(key, self._replication_factor):
+            node = self.nodes.get(node_id)
+            if node is None or not node.is_up:
+                continue
+            versions[node_id] = node.storage.peek(key)
+        return versions
+
+    # ------------------------------------------------------------------
+    # Reconfiguration API (the controller's levers)
+    # ------------------------------------------------------------------
+    def set_read_consistency(self, level: ConsistencyLevel) -> None:
+        """Change the default read consistency level."""
+        if level is self._read_consistency:
+            return
+        previous = self._read_consistency
+        self._read_consistency = level
+        self._notify_reconfiguration(
+            {"action": "set_read_consistency", "from": previous.value, "to": level.value}
+        )
+
+    def set_write_consistency(self, level: ConsistencyLevel) -> None:
+        """Change the default write consistency level."""
+        if level is self._write_consistency:
+            return
+        previous = self._write_consistency
+        self._write_consistency = level
+        self._notify_reconfiguration(
+            {"action": "set_write_consistency", "from": previous.value, "to": level.value}
+        )
+
+    def set_replication_factor(self, replication_factor: int) -> Optional[StreamSession]:
+        """Change the replication factor; returns the fill session if one started."""
+        if replication_factor < 1:
+            raise ConfigurationError("replication_factor must be >= 1")
+        if replication_factor > self.ring.size:
+            raise ConfigurationError(
+                "replication_factor cannot exceed the number of ring members "
+                f"({replication_factor} > {self.ring.size})"
+            )
+        if replication_factor == self._replication_factor:
+            return None
+        previous = self._replication_factor
+        keys = self._sample_all_keys()
+        self._replication_factor = replication_factor
+        self._notify_reconfiguration(
+            {
+                "action": "set_replication_factor",
+                "from": previous,
+                "to": replication_factor,
+            }
+        )
+        if replication_factor > previous:
+            tasks = self.streamer.plan_replication_increase(
+                previous, replication_factor, self.ring, self.nodes, keys
+            )
+            return self.streamer.run(
+                tasks,
+                self.nodes,
+                on_complete=lambda session: self._notify_topology(
+                    {
+                        "event": "replication_fill_complete",
+                        "keys_streamed": session.keys_streamed,
+                        "duration": session.duration,
+                    }
+                ),
+                on_version_applied=self._streamed_version_applied,
+                label="rf-fill",
+            )
+        self.streamer.cleanup_replication_decrease(
+            previous, replication_factor, self.ring, self.nodes, keys
+        )
+        return None
+
+    def add_node(
+        self, node_config: Optional[NodeConfig] = None
+    ) -> Tuple[str, Optional[StreamSession]]:
+        """Provision a new node; it joins the ring once bootstrap streaming ends.
+
+        Returns the new node id and the bootstrap streaming session (``None``
+        when the cluster holds no data yet, in which case the join is
+        immediate).
+        """
+        if len(self.node_ids()) >= self.config.max_nodes:
+            raise TopologyError(f"cluster is at max_nodes={self.config.max_nodes}")
+        node = self._create_node(initial=False, node_config=node_config)
+        from .types import NodeState
+
+        node.state = NodeState.JOINING
+        self._notify_topology({"event": "node_joining", "node": node.node_id})
+
+        new_ring = self.ring.copy()
+        new_ring.add_node(node.node_id)
+        keys = self._sample_all_keys()
+        tasks = self.streamer.plan_join(
+            node.node_id, self.ring, new_ring, self._replication_factor, self.nodes, keys
+        )
+
+        def _join_complete(session: StreamSession) -> None:
+            self._finish_join(node.node_id, session)
+
+        if not tasks:
+            self._finish_join(node.node_id, None)
+            return node.node_id, None
+        session = self.streamer.run(
+            tasks,
+            self.nodes,
+            on_complete=_join_complete,
+            on_version_applied=self._streamed_version_applied,
+            label=f"join:{node.node_id}",
+        )
+        return node.node_id, session
+
+    def _finish_join(self, node_id: str, session: Optional[StreamSession]) -> None:
+        """Second bootstrap phase: stream the delta the snapshot missed.
+
+        Bootstrap streaming copies a *snapshot* of the key space; writes that
+        arrived while the snapshot was being streamed only reached the old
+        replica set (the joining node is not on the ring yet).  Real
+        Cassandra covers this hole by forwarding writes for pending ranges to
+        the bootstrapping node; we approximate the same guarantee with a
+        catch-up streaming phase over the missed keys.  The node only starts
+        serving requests once the catch-up completes, so a freshly joined
+        node is not a source of stale reads.
+        """
+        node = self.nodes.get(node_id)
+        if node is None or not node.is_up:
+            return
+        bootstrap_keys = session.keys_streamed if session else 0
+        bootstrap_duration = session.duration if session else 0.0
+
+        catch_up_tasks = self._plan_catch_up(node_id)
+        if not catch_up_tasks:
+            self._complete_join(node_id, bootstrap_keys, bootstrap_duration, catch_up_keys=0)
+            return
+        self.streamer.run(
+            catch_up_tasks,
+            self.nodes,
+            on_complete=lambda catch_up_session: self._complete_join(
+                node_id,
+                bootstrap_keys,
+                bootstrap_duration,
+                catch_up_keys=catch_up_session.keys_streamed,
+            ),
+            on_version_applied=self._streamed_version_applied,
+            label=f"catchup:{node_id}",
+        )
+
+    def _plan_catch_up(self, node_id: str) -> List["StreamTask"]:
+        """Stream tasks for keys the new node will own but is missing/stale on."""
+        from .rebalance import StreamTask
+
+        node = self.nodes.get(node_id)
+        if node is None or not node.is_up:
+            return []
+        future_ring = self.ring if node_id in self.ring else self.ring.copy()
+        if node_id not in future_ring:
+            future_ring.add_node(node_id)
+        per_source: Dict[str, List[str]] = {}
+        for key in self._sample_all_keys():
+            if node_id not in future_ring.preference_list(key, self._replication_factor):
+                continue
+            newest: Optional[VersionedValue] = None
+            source: Optional[str] = None
+            for replica_id in self.ring.preference_list(key, self._replication_factor):
+                replica = self.nodes.get(replica_id)
+                if replica is None or not replica.is_up:
+                    continue
+                version = replica.storage.peek(key)
+                if compare_versions(version, newest) > 0:
+                    newest = version
+                    source = replica_id
+            if newest is None or source is None:
+                continue
+            if compare_versions(node.storage.peek(key), newest) < 0:
+                per_source.setdefault(source, []).append(key)
+        return [
+            StreamTask(source=source, target=node_id, keys=keys)
+            for source, keys in sorted(per_source.items())
+        ]
+
+    def _complete_join(
+        self, node_id: str, bootstrap_keys: int, bootstrap_duration: float, catch_up_keys: int
+    ) -> None:
+        node = self.nodes.get(node_id)
+        if node is None or not node.is_up:
+            return
+        from .types import NodeState
+
+        if node_id not in self.ring:
+            self.ring.add_node(node_id)
+        node.state = NodeState.NORMAL
+        self._notify_topology(
+            {
+                "event": "node_joined",
+                "node": node_id,
+                "keys_streamed": bootstrap_keys,
+                "bootstrap_duration": bootstrap_duration,
+                "catch_up_keys": catch_up_keys,
+            }
+        )
+
+    def remove_node(self, node_id: Optional[str] = None) -> Tuple[str, Optional[StreamSession]]:
+        """Decommission a node (least-loaded by default); data is streamed off first."""
+        serving = [
+            nid for nid, node in self.nodes.items() if node.serves_requests and nid in self.ring
+        ]
+        if len(serving) <= max(self.config.min_nodes, self._replication_factor):
+            raise TopologyError(
+                "cannot remove a node: cluster is at its minimum size for "
+                f"RF={self._replication_factor}"
+            )
+        if node_id is None:
+            node_id = max(serving)
+        if node_id not in self.nodes:
+            raise UnknownNodeError(f"unknown node {node_id!r}")
+        node = self.nodes[node_id]
+        from .types import NodeState
+
+        node.state = NodeState.LEAVING
+        self._notify_topology({"event": "node_leaving", "node": node_id})
+
+        new_ring = self.ring.copy()
+        new_ring.remove_node(node_id)
+        tasks = self.streamer.plan_leave(
+            node_id, self.ring, new_ring, self._replication_factor, self.nodes
+        )
+
+        def _leave_complete(session: StreamSession) -> None:
+            self._finish_leave(node_id, session)
+
+        if not tasks:
+            self._finish_leave(node_id, None)
+            return node_id, None
+        session = self.streamer.run(
+            tasks,
+            self.nodes,
+            on_complete=_leave_complete,
+            on_version_applied=self._streamed_version_applied,
+            label=f"leave:{node_id}",
+        )
+        return node_id, session
+
+    def _finish_leave(self, node_id: str, session: Optional[StreamSession]) -> None:
+        node = self.nodes.get(node_id)
+        if node is None:
+            return
+        if node_id in self.ring:
+            self.ring.remove_node(node_id)
+        node.mark_removed()
+        self.membership.deregister_node(node_id)
+        self.hinted_handoff.discard_for_node(node_id)
+        self._notify_topology(
+            {
+                "event": "node_removed",
+                "node": node_id,
+                "keys_streamed": session.keys_streamed if session else 0,
+                "drain_duration": session.duration if session else 0.0,
+            }
+        )
+
+    def crash_node(self, node_id: str) -> None:
+        """Crash-stop a node (fault injection)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise UnknownNodeError(f"unknown node {node_id!r}")
+        node.mark_down()
+        self._notify_topology({"event": "node_down", "node": node_id})
+
+    def recover_node(self, node_id: str) -> None:
+        """Recover a crashed node; hinted handoff replays missed writes."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise UnknownNodeError(f"unknown node {node_id!r}")
+        node.mark_up()
+        self._notify_topology({"event": "node_up", "node": node_id})
+
+    def _streamed_version_applied(
+        self, key: str, stamp: VersionStamp, node_id: str, time: float
+    ) -> None:
+        self._handle_replica_applied(key, stamp, node_id, time, True)
+
+    def _sample_all_keys(self) -> Tuple[str, ...]:
+        if self._known_keys_dirty or not self._known_keys_cache:
+            self._known_keys_cache = tuple(self._known_keys)
+            self._known_keys_dirty = False
+        return self._known_keys_cache
+
+    # ------------------------------------------------------------------
+    # Observation API
+    # ------------------------------------------------------------------
+    def node_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Per-node metric snapshots (utilisation sampled and reset)."""
+        metrics: Dict[str, Dict[str, float]] = {}
+        for node_id, node in self.nodes.items():
+            if node.state.value == "removed":
+                continue
+            node.sample_utilization()
+            metrics[node_id] = node.metrics()
+        return metrics
+
+    def cluster_metrics(self) -> Dict[str, float]:
+        """Cluster-level metric snapshot used by the monitoring subsystem."""
+        serving = self.serving_node_ids()
+        utilizations = [
+            self.nodes[node_id].utilization for node_id in serving if node_id in self.nodes
+        ]
+        mean_util = sum(utilizations) / len(utilizations) if utilizations else 0.0
+        max_util = max(utilizations) if utilizations else 0.0
+        dropped_mutations = sum(
+            node.dropped_mutations
+            for node in self.nodes.values()
+            if node.state.value != "removed"
+        )
+        return {
+            "node_count": float(len(serving)),
+            "ring_size": float(self.ring.size),
+            "live_nodes": float(self.live_node_count()),
+            "dropped_mutations": float(dropped_mutations),
+            "replication_factor": float(self._replication_factor),
+            "read_consistency_acks": float(
+                self._read_consistency.required_acks(self._replication_factor)
+            ),
+            "write_consistency_acks": float(
+                self._write_consistency.required_acks(self._replication_factor)
+            ),
+            "mean_utilization": mean_util,
+            "max_utilization": max_util,
+            "pending_hints": float(self.hinted_handoff.pending),
+            "active_stream_sessions": float(self.streamer.active_sessions),
+            "network_congestion": self.network.congestion_factor,
+            "unavailable_errors": float(self.coordinator.unavailable_errors),
+            "timeouts": float(self.coordinator.timeouts),
+        }
+
+    def configuration_snapshot(self) -> Dict[str, object]:
+        """The currently active configuration (for reports and the controller)."""
+        return {
+            "node_count": len(self.serving_node_ids()),
+            "replication_factor": self._replication_factor,
+            "read_consistency": self._read_consistency.value,
+            "write_consistency": self._write_consistency.value,
+        }

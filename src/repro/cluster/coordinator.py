@@ -1,0 +1,662 @@
+"""Request coordination: quorum reads and writes with tunable consistency.
+
+Every client operation is handled by a *coordinator* node (chosen by the
+cluster's client-side load balancer).  The coordinator resolves the key's
+replica set on the hash ring, fans the request out to replicas over the
+network, waits for the number of acknowledgements its consistency level
+requires and then answers the client.  Writes are always sent to *all* live
+replicas but acknowledged after ``W`` of them respond; the remaining replicas
+apply the update asynchronously — the gap between the client acknowledgement
+and the last replica apply **is** the inconsistency window the paper is
+about.
+
+The coordinator reports three kinds of events to the cluster's listeners:
+
+* ``on_write_acked(key, stamp, ack_time, replica_set)`` — a write became
+  visible to the client; the ground-truth window tracker starts a window.
+* ``on_replica_applied(key, stamp, node_id, time, background)`` — a replica
+  applied a version (foreground, hint replay, repair or stream).
+* ``on_operation_completed(result)`` — a read or write finished (successfully
+  or not) from the client's point of view.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..simulation.engine import Simulator
+from ..simulation.events import EventHandle
+from ..simulation.network import NetworkModel
+from .membership import MembershipService
+from .node import ReplicaReadResponse, ReplicaWriteResponse, StorageNode
+from .ring import HashRing
+from .types import ConsistencyLevel, OperationType, ReadResult, WriteResult
+from .versioning import VersionStamp, VersionedValue, compare_versions
+
+__all__ = ["CoordinatorConfig", "RequestCoordinator", "AckedVersionRegistry"]
+
+_CLIENT = "__client__"
+
+
+@dataclass
+class CoordinatorConfig:
+    """Request-handling parameters."""
+
+    operation_timeout: float = 1.0
+    """Seconds before an in-flight operation fails with a timeout."""
+
+    default_value_size: int = 1024
+    """Bytes per value when the workload does not specify a size."""
+
+
+class AckedVersionRegistry:
+    """Tracks, per key, the newest version that has been acknowledged to a client.
+
+    Used for two purposes: assigning ground-truth staleness annotations to
+    read results (only the ground-truth tracker and experiment reports may use
+    those fields), and answering "what is the newest acked version as of time
+    t" which requires keeping a short history of acknowledgements per key.
+    """
+
+    def __init__(self, history: int = 16) -> None:
+        self._history = history
+        self._acked: Dict[str, List[tuple[float, VersionStamp]]] = {}
+
+    def record_ack(self, key: str, stamp: VersionStamp, ack_time: float) -> None:
+        """Record that ``stamp`` was acknowledged to a client at ``ack_time``."""
+        entries = self._acked.setdefault(key, [])
+        entries.append((ack_time, stamp))
+        if len(entries) > self._history:
+            del entries[0 : len(entries) - self._history]
+
+    def newest_acked_before(self, key: str, time: float) -> Optional[VersionStamp]:
+        """Newest stamp acknowledged at or before ``time`` (or ``None``)."""
+        entries = self._acked.get(key)
+        if not entries:
+            return None
+        newest: Optional[VersionStamp] = None
+        for ack_time, stamp in entries:
+            if ack_time <= time and (newest is None or stamp > newest):
+                newest = stamp
+        return newest
+
+    def newest_acked(self, key: str) -> Optional[VersionStamp]:
+        """Newest stamp acknowledged so far for ``key`` (or ``None``)."""
+        entries = self._acked.get(key)
+        if not entries:
+            return None
+        return max(stamp for _, stamp in entries)
+
+    def tracked_keys(self) -> int:
+        """Number of keys with at least one acknowledged write."""
+        return len(self._acked)
+
+
+@dataclass
+class _WriteContext:
+    """In-flight state of one coordinated write."""
+
+    result: WriteResult
+    required_acks: int
+    acks: int = 0
+    completed: bool = False
+    timeout_handle: Optional[EventHandle] = None
+    on_complete: Optional[Callable[[WriteResult], None]] = None
+
+
+@dataclass
+class _ReadContext:
+    """In-flight state of one coordinated read."""
+
+    result: ReadResult
+    required_responses: int
+    responses: List[ReplicaReadResponse] = field(default_factory=list)
+    completed: bool = False
+    timeout_handle: Optional[EventHandle] = None
+    on_complete: Optional[Callable[[ReadResult], None]] = None
+
+
+class RequestCoordinator:
+    """Executes reads and writes on behalf of clients."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: NetworkModel,
+        ring: HashRing,
+        nodes: Dict[str, StorageNode],
+        membership: MembershipService,
+        config: Optional[CoordinatorConfig] = None,
+    ) -> None:
+        self._simulator = simulator
+        self._network = network
+        self._ring = ring
+        self._nodes = nodes
+        self._membership = membership
+        self._config = config or CoordinatorConfig()
+        self._sequence = itertools.count(1)
+        self._write_ids = itertools.count(1)
+        self._rng = simulator.streams.stream("coordinator")
+        self.acked_registry = AckedVersionRegistry()
+
+        # Listener hooks, bound by the Cluster facade.
+        self.on_write_acked: Optional[
+            Callable[[str, VersionStamp, float, Sequence[str]], None]
+        ] = None
+        self.on_replica_applied: Optional[
+            Callable[[str, VersionStamp, str, float, bool], None]
+        ] = None
+        self.on_operation_completed: Optional[Callable[[object], None]] = None
+
+        # Counters used by reports and tests.
+        self.writes_started = 0
+        self.reads_started = 0
+        self.writes_failed = 0
+        self.reads_failed = 0
+        self.unavailable_errors = 0
+        self.timeouts = 0
+        self.hinted_writes = 0
+
+    @property
+    def config(self) -> CoordinatorConfig:
+        """Coordinator configuration in effect."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _serving_nodes(self) -> List[str]:
+        return sorted(
+            node_id for node_id, node in self._nodes.items() if node.serves_requests
+        )
+
+    def _coordinator_view_alive(self, coordinator_id: str, node_id: str) -> bool:
+        view = self._membership.view_of(coordinator_id)
+        if view is None:
+            return self._membership.is_alive(node_id)
+        return view.is_alive(node_id, self._simulator.now)
+
+    def _notify_applied(
+        self, key: str, stamp: VersionStamp, node_id: str, time: float, background: bool
+    ) -> None:
+        if self.on_replica_applied is not None:
+            self.on_replica_applied(key, stamp, node_id, time, background)
+
+    def _notify_completed(self, result: object) -> None:
+        if self.on_operation_completed is not None:
+            self.on_operation_completed(result)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def execute_write(
+        self,
+        key: str,
+        value: bytes,
+        coordinator_id: str,
+        replication_factor: int,
+        consistency_level: ConsistencyLevel,
+        on_complete: Callable[[WriteResult], None],
+        operation: OperationType = OperationType.WRITE,
+        size: Optional[int] = None,
+        store_hint: Optional[Callable[[str, str, VersionedValue], None]] = None,
+    ) -> None:
+        """Coordinate one write; ``on_complete`` receives the client-visible result."""
+        self.writes_started += 1
+        issued_at = self._simulator.now
+        result = WriteResult(
+            key=key,
+            operation=operation,
+            issued_at=issued_at,
+            completed_at=issued_at,
+            success=False,
+            coordinator=coordinator_id,
+            consistency_level=consistency_level,
+        )
+        context = _WriteContext(result=result, required_acks=1, on_complete=on_complete)
+
+        def _start() -> None:
+            self._start_write(
+                context,
+                key,
+                value,
+                coordinator_id,
+                replication_factor,
+                consistency_level,
+                size,
+                store_hint,
+            )
+
+        delivered = self._network.send(
+            _CLIENT, coordinator_id, _start, client_facing=True
+        )
+        if not delivered:
+            self._fail_write(context, "coordinator unreachable")
+
+    def _start_write(
+        self,
+        context: _WriteContext,
+        key: str,
+        value: bytes,
+        coordinator_id: str,
+        replication_factor: int,
+        consistency_level: ConsistencyLevel,
+        size: Optional[int],
+        store_hint: Optional[Callable[[str, str, VersionedValue], None]],
+    ) -> None:
+        coordinator = self._nodes.get(coordinator_id)
+        if coordinator is None or not coordinator.serves_requests:
+            self._fail_write(context, "coordinator down")
+            return
+
+        now = self._simulator.now
+        stamp = VersionStamp(timestamp=now, sequence=next(self._sequence))
+        version = VersionedValue(
+            stamp=stamp,
+            value=value,
+            write_id=next(self._write_ids),
+            size=size if size is not None else self._config.default_value_size,
+        )
+        context.result.version_timestamp = stamp.timestamp
+
+        preference_list = self._ring.preference_list(key, replication_factor)
+        if not preference_list:
+            self._fail_write(context, "no replicas available")
+            return
+        effective_rf = len(preference_list)
+        required = consistency_level.required_acks(effective_rf)
+        context.required_acks = required
+        context.result.replicas_contacted = effective_rf
+
+        live: List[str] = []
+        unreachable: List[str] = []
+        for node_id in preference_list:
+            node = self._nodes.get(node_id)
+            if (
+                node is not None
+                and node.serves_requests
+                and self._coordinator_view_alive(coordinator_id, node_id)
+            ):
+                live.append(node_id)
+            else:
+                unreachable.append(node_id)
+
+        if len(live) < required:
+            self.unavailable_errors += 1
+            self._fail_write(context, "unavailable: not enough live replicas")
+            return
+
+        for node_id in unreachable:
+            if store_hint is not None:
+                store_hint(node_id, key, version)
+                context.result.hinted += 1
+                self.hinted_writes += 1
+
+        for node_id in live:
+            self._send_replica_write(
+                context, coordinator_id, node_id, key, version, store_hint
+            )
+
+        context.timeout_handle = self._simulator.schedule_in(
+            self._config.operation_timeout,
+            self._write_timeout,
+            context,
+            label="write:timeout",
+        )
+
+    def _send_replica_write(
+        self,
+        context: _WriteContext,
+        coordinator_id: str,
+        node_id: str,
+        key: str,
+        version: VersionedValue,
+        store_hint: Optional[Callable[[str, str, VersionedValue], None]],
+    ) -> None:
+        node = self._nodes[node_id]
+
+        def _deliver() -> None:
+            node.replica_write(
+                key,
+                version,
+                on_done=lambda response: self._replica_write_done(
+                    context, coordinator_id, key, version, response
+                ),
+            )
+
+        def _dropped() -> None:
+            if store_hint is not None:
+                store_hint(node_id, key, version)
+                context.result.hinted += 1
+                self.hinted_writes += 1
+
+        self._network.send(coordinator_id, node_id, _deliver, on_drop=_dropped)
+
+    def _replica_write_done(
+        self,
+        context: _WriteContext,
+        coordinator_id: str,
+        key: str,
+        version: VersionedValue,
+        response: ReplicaWriteResponse,
+    ) -> None:
+        self._notify_applied(
+            key, version.stamp, response.node_id, response.applied_at, False
+        )
+
+        def _ack() -> None:
+            self._receive_write_ack(context, coordinator_id, key, version)
+
+        self._network.send(response.node_id, coordinator_id, _ack)
+
+    def _receive_write_ack(
+        self,
+        context: _WriteContext,
+        coordinator_id: str,
+        key: str,
+        version: VersionedValue,
+    ) -> None:
+        if context.completed:
+            return
+        context.acks += 1
+        context.result.replicas_responded = context.acks
+        if context.acks < context.required_acks:
+            return
+
+        context.completed = True
+        if context.timeout_handle is not None:
+            context.timeout_handle.cancel()
+        ack_time = self._simulator.now
+        self.acked_registry.record_ack(key, version.stamp, ack_time)
+        replica_set = self._ring.preference_list(
+            key, context.result.replicas_contacted
+        )
+        if self.on_write_acked is not None:
+            self.on_write_acked(key, version.stamp, ack_time, replica_set)
+
+        def _reply() -> None:
+            context.result.completed_at = self._simulator.now
+            context.result.success = True
+            self._finish_write(context)
+
+        delivered = self._network.send(
+            coordinator_id, _CLIENT, _reply, client_facing=True
+        )
+        if not delivered:
+            context.result.completed_at = self._simulator.now
+            context.result.success = True
+            self._finish_write(context)
+
+    def _write_timeout(self, context: _WriteContext) -> None:
+        if context.completed:
+            return
+        self.timeouts += 1
+        self._fail_write(context, "timeout")
+
+    def _fail_write(self, context: _WriteContext, error: str) -> None:
+        if context.completed:
+            return
+        context.completed = True
+        if context.timeout_handle is not None:
+            context.timeout_handle.cancel()
+        context.result.completed_at = self._simulator.now
+        context.result.success = False
+        context.result.error = error
+        self.writes_failed += 1
+        self._finish_write(context)
+
+    def _finish_write(self, context: _WriteContext) -> None:
+        self._notify_completed(context.result)
+        if context.on_complete is not None:
+            context.on_complete(context.result)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def execute_read(
+        self,
+        key: str,
+        coordinator_id: str,
+        replication_factor: int,
+        consistency_level: ConsistencyLevel,
+        on_complete: Callable[[ReadResult], None],
+        operation: OperationType = OperationType.READ,
+        inspect_responses: Optional[
+            Callable[[str, Sequence[ReplicaReadResponse]], bool]
+        ] = None,
+    ) -> None:
+        """Coordinate one read; ``on_complete`` receives the client-visible result."""
+        self.reads_started += 1
+        issued_at = self._simulator.now
+        result = ReadResult(
+            key=key,
+            operation=operation,
+            issued_at=issued_at,
+            completed_at=issued_at,
+            success=False,
+            coordinator=coordinator_id,
+            consistency_level=consistency_level,
+        )
+        context = _ReadContext(result=result, required_responses=1, on_complete=on_complete)
+
+        def _start() -> None:
+            self._start_read(
+                context,
+                key,
+                coordinator_id,
+                replication_factor,
+                consistency_level,
+                inspect_responses,
+            )
+
+        delivered = self._network.send(
+            _CLIENT, coordinator_id, _start, client_facing=True
+        )
+        if not delivered:
+            self._fail_read(context, "coordinator unreachable")
+
+    def _start_read(
+        self,
+        context: _ReadContext,
+        key: str,
+        coordinator_id: str,
+        replication_factor: int,
+        consistency_level: ConsistencyLevel,
+        inspect_responses: Optional[
+            Callable[[str, Sequence[ReplicaReadResponse]], bool]
+        ],
+    ) -> None:
+        coordinator = self._nodes.get(coordinator_id)
+        if coordinator is None or not coordinator.serves_requests:
+            self._fail_read(context, "coordinator down")
+            return
+
+        preference_list = self._ring.preference_list(key, replication_factor)
+        if not preference_list:
+            self._fail_read(context, "no replicas available")
+            return
+        effective_rf = len(preference_list)
+        required = consistency_level.required_acks(effective_rf)
+
+        live = [
+            node_id
+            for node_id in preference_list
+            if self._nodes.get(node_id) is not None
+            and self._nodes[node_id].serves_requests
+            and self._coordinator_view_alive(coordinator_id, node_id)
+        ]
+        if len(live) < required:
+            self.unavailable_errors += 1
+            self._fail_read(context, "unavailable: not enough live replicas")
+            return
+
+        # Replica selection is load balanced: the coordinator picks a random
+        # subset of the live replicas (a simplification of Cassandra's
+        # dynamic snitch).  This spreads read load and means a CL=ONE read
+        # genuinely samples the replica set, so replica lag is observable.
+        if len(live) > required:
+            order = self._rng.permutation(len(live))
+            targets = [live[int(i)] for i in order[:required]]
+        else:
+            targets = live[:required]
+        context.required_responses = required
+        context.result.replicas_contacted = len(targets)
+
+        for node_id in targets:
+            self._send_replica_read(
+                context, coordinator_id, node_id, key, inspect_responses
+            )
+
+        context.timeout_handle = self._simulator.schedule_in(
+            self._config.operation_timeout,
+            self._read_timeout,
+            context,
+            label="read:timeout",
+        )
+
+    def _send_replica_read(
+        self,
+        context: _ReadContext,
+        coordinator_id: str,
+        node_id: str,
+        key: str,
+        inspect_responses: Optional[
+            Callable[[str, Sequence[ReplicaReadResponse]], bool]
+        ],
+    ) -> None:
+        node = self._nodes[node_id]
+
+        def _deliver() -> None:
+            node.replica_read(
+                key,
+                on_done=lambda response: self._replica_read_done(
+                    context, coordinator_id, key, response, inspect_responses
+                ),
+            )
+
+        self._network.send(coordinator_id, node_id, _deliver)
+
+    def _replica_read_done(
+        self,
+        context: _ReadContext,
+        coordinator_id: str,
+        key: str,
+        response: ReplicaReadResponse,
+        inspect_responses: Optional[
+            Callable[[str, Sequence[ReplicaReadResponse]], bool]
+        ],
+    ) -> None:
+        def _receive() -> None:
+            self._receive_read_response(context, coordinator_id, key, response, inspect_responses)
+
+        self._network.send(response.node_id, coordinator_id, _receive)
+
+    def _receive_read_response(
+        self,
+        context: _ReadContext,
+        coordinator_id: str,
+        key: str,
+        response: ReplicaReadResponse,
+        inspect_responses: Optional[
+            Callable[[str, Sequence[ReplicaReadResponse]], bool]
+        ],
+    ) -> None:
+        if context.completed:
+            return
+        context.responses.append(response)
+        context.result.replicas_responded = len(context.responses)
+        if len(context.responses) < context.required_responses:
+            return
+
+        context.completed = True
+        if context.timeout_handle is not None:
+            context.timeout_handle.cancel()
+
+        newest: Optional[VersionedValue] = None
+        for replica_response in context.responses:
+            if compare_versions(replica_response.version, newest) > 0:
+                newest = replica_response.version
+
+        if inspect_responses is not None:
+            context.result.digest_mismatch = inspect_responses(key, context.responses)
+
+        if newest is not None:
+            context.result.value = newest.value
+            context.result.version_timestamp = newest.stamp.timestamp
+
+        # Ground-truth staleness annotation: compare against the newest
+        # version acknowledged to any client before this read was issued.
+        reference = self.acked_registry.newest_acked_before(
+            key, context.result.issued_at
+        )
+        if reference is not None:
+            if newest is None or newest.stamp < reference:
+                context.result.stale = True
+                returned_ts = newest.stamp.timestamp if newest is not None else 0.0
+                context.result.staleness = max(0.0, reference.timestamp - returned_ts)
+
+        def _reply() -> None:
+            context.result.completed_at = self._simulator.now
+            context.result.success = True
+            self._finish_read(context)
+
+        delivered = self._network.send(
+            coordinator_id, _CLIENT, _reply, client_facing=True
+        )
+        if not delivered:
+            context.result.completed_at = self._simulator.now
+            context.result.success = True
+            self._finish_read(context)
+
+    def _read_timeout(self, context: _ReadContext) -> None:
+        if context.completed:
+            return
+        self.timeouts += 1
+        self._fail_read(context, "timeout")
+
+    def _fail_read(self, context: _ReadContext, error: str) -> None:
+        if context.completed:
+            return
+        context.completed = True
+        if context.timeout_handle is not None:
+            context.timeout_handle.cancel()
+        context.result.completed_at = self._simulator.now
+        context.result.success = False
+        context.result.error = error
+        self.reads_failed += 1
+        self._finish_read(context)
+
+    def _finish_read(self, context: _ReadContext) -> None:
+        self._notify_completed(context.result)
+        if context.on_complete is not None:
+            context.on_complete(context.result)
+
+    # ------------------------------------------------------------------
+    # Background writes (hints, repairs, anti-entropy, streaming)
+    # ------------------------------------------------------------------
+    def background_write(
+        self, target_node: str, key: str, version: VersionedValue, source: str
+    ) -> bool:
+        """Send one background (repair/hint) write to a replica.
+
+        Returns ``True`` when the message was dispatched.  The apply is
+        reported to ``on_replica_applied`` with ``background=True`` so the
+        ground-truth tracker closes windows that only repairs can close.
+        """
+        node = self._nodes.get(target_node)
+        if node is None or not node.is_up:
+            return False
+
+        def _deliver() -> None:
+            node.replica_write(
+                key,
+                version,
+                on_done=lambda response: self._notify_applied(
+                    key, version.stamp, response.node_id, response.applied_at, True
+                ),
+                background=True,
+            )
+
+        return self._network.send(source, target_node, _deliver)

@@ -1,0 +1,112 @@
+"""Fault injection.
+
+Failures are first-class in the paper's problem statement: eventual
+consistency exists because stores choose availability under partitions, and
+the size of the inconsistency window blows up when replicas crash or get cut
+off.  The :class:`FaultInjector` schedules crash-stop node failures (with
+optional recovery) and network partitions against a running cluster so the
+tests, examples and experiments can exercise those paths deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set
+
+from ..simulation.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .cluster import Cluster
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+
+@dataclass
+class FaultEvent:
+    """Record of one injected fault (for reports and assertions)."""
+
+    kind: str
+    target: str
+    start_time: float
+    end_time: Optional[float] = None
+
+
+class FaultInjector:
+    """Schedules node crashes and network partitions on a cluster."""
+
+    def __init__(self, simulator: Simulator, cluster: "Cluster") -> None:
+        self._simulator = simulator
+        self._cluster = cluster
+        self.events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # Node crashes
+    # ------------------------------------------------------------------
+    def crash_node(
+        self, node_id: str, at: float, duration: Optional[float] = None
+    ) -> FaultEvent:
+        """Crash ``node_id`` at time ``at``; recover after ``duration`` if given."""
+        event = FaultEvent(kind="node_crash", target=node_id, start_time=at)
+        self.events.append(event)
+
+        def _crash() -> None:
+            self._cluster.crash_node(node_id)
+
+        self._simulator.schedule(at, _crash, label=f"fault:crash:{node_id}")
+        if duration is not None:
+            event.end_time = at + duration
+
+            def _recover() -> None:
+                self._cluster.recover_node(node_id)
+
+            self._simulator.schedule(
+                at + duration, _recover, label=f"fault:recover:{node_id}"
+            )
+        return event
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        group_a: Sequence[str],
+        group_b: Sequence[str],
+        at: float,
+        duration: Optional[float] = None,
+    ) -> FaultEvent:
+        """Partition two groups of nodes at ``at``; heal after ``duration``."""
+        label = f"{'|'.join(sorted(group_a))} <-> {'|'.join(sorted(group_b))}"
+        event = FaultEvent(kind="partition", target=label, start_time=at)
+        self.events.append(event)
+
+        def _install() -> None:
+            self._cluster.network.partition(set(group_a), set(group_b))
+
+        self._simulator.schedule(at, _install, label="fault:partition")
+        if duration is not None:
+            event.end_time = at + duration
+
+            def _heal() -> None:
+                self._cluster.network.heal_partition()
+
+            self._simulator.schedule(at + duration, _heal, label="fault:heal")
+        return event
+
+    def isolate_node(
+        self, node_id: str, at: float, duration: Optional[float] = None
+    ) -> FaultEvent:
+        """Partition one node away from the rest of the cluster."""
+        others = [other for other in self._cluster.node_ids() if other != node_id]
+        return self.partition([node_id], others, at, duration)
+
+    def summary(self) -> List[dict]:
+        """All injected faults as plain dictionaries (for experiment reports)."""
+        return [
+            {
+                "kind": event.kind,
+                "target": event.target,
+                "start_time": event.start_time,
+                "end_time": event.end_time,
+            }
+            for event in self.events
+        ]

@@ -1,0 +1,290 @@
+"""Storage node model.
+
+A :class:`StorageNode` couples a queueing server (its CPU/disk data path), a
+:class:`~repro.cluster.storage.StorageEngine` and a lifecycle state.  All
+replica-level operations — foreground reads and writes sent by coordinators,
+hinted-handoff replays, anti-entropy repairs and rebalancing streams — are
+funnelled through the same queue, so background work competes with foreground
+work exactly as it does on a real node.  This is what makes reconfiguration
+actions visibly *cost* something in experiment E4.
+
+The node also models memory pressure: once the stored bytes exceed a
+configurable fraction of the node's memory, service demands grow, reproducing
+the "amount of RAM available" parameter the paper lists as an input of its
+first research task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..simulation.engine import Simulator
+from ..simulation.resources import QueueingServer
+from .storage import StorageEngine
+from .types import NodeState
+from .versioning import VersionStamp, VersionedValue
+
+__all__ = ["NodeConfig", "StorageNode", "ReplicaReadResponse", "ReplicaWriteResponse"]
+
+
+@dataclass
+class NodeConfig:
+    """Capacity and behaviour parameters of a storage node."""
+
+    ops_capacity: float = 800.0
+    """Nominal operations per second the node can serve."""
+
+    read_demand_factor: float = 1.0
+    """Service demand of a read relative to the base demand (1/ops_capacity)."""
+
+    write_demand_factor: float = 1.2
+    """Service demand of a write relative to the base demand."""
+
+    stream_demand_factor: float = 0.35
+    """Service demand of applying one streamed (bulk) item."""
+
+    repair_demand_factor: float = 0.8
+    """Service demand of applying one read-repair or anti-entropy item."""
+
+    service_cv: float = 0.3
+    """Coefficient of variation of per-request service demand."""
+
+    memory_capacity_bytes: int = 512 * 1024 * 1024
+    """Bytes of memory before pressure effects begin."""
+
+    memory_pressure_threshold: float = 0.7
+    """Fraction of memory above which service demand starts inflating."""
+
+    memory_pressure_slope: float = 2.0
+    """Demand multiplier slope per unit of excess memory fraction."""
+
+    mutation_timeout: float = 0.25
+    """Replicated writes expected to wait longer than this are dropped.
+
+    This reproduces Cassandra's *dropped mutations* load shedding: under
+    pressure a replica silently discards queued foreground writes instead of
+    serving them late.  The coordinator still acknowledges the write once its
+    consistency level is met by other replicas, so the dropped replica stays
+    stale until read repair, hinted handoff or anti-entropy fixes it — the
+    dominant real-world source of large inconsistency windows under load.
+    """
+
+
+@dataclass
+class ReplicaReadResponse:
+    """What a replica returns to a coordinator for a read request."""
+
+    node_id: str
+    version: Optional[VersionedValue]
+    responded_at: float
+
+
+@dataclass
+class ReplicaWriteResponse:
+    """What a replica returns to a coordinator for a write request."""
+
+    node_id: str
+    applied: bool
+    applied_at: float
+
+
+class StorageNode:
+    """A single storage node: queueing server + storage engine + state."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        node_id: str,
+        config: Optional[NodeConfig] = None,
+        state: NodeState = NodeState.NORMAL,
+    ) -> None:
+        self._simulator = simulator
+        self.node_id = node_id
+        self.config = config or NodeConfig()
+        self.state = state
+        self.server = QueueingServer(
+            simulator,
+            name=node_id,
+            service_rate=1.0,
+            service_cv=self.config.service_cv,
+        )
+        self.storage = StorageEngine(node_id)
+        self._base_demand = 1.0 / self.config.ops_capacity
+        self.started_at = simulator.now
+        self.stopped_at: Optional[float] = None
+        self.foreground_ops = 0
+        self.background_ops = 0
+        self.dropped_mutations = 0
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        """Whether the node is alive (possibly joining/leaving, but not down)."""
+        return self.state not in (NodeState.DOWN, NodeState.REMOVED)
+
+    @property
+    def serves_requests(self) -> bool:
+        """Whether coordinators may route foreground requests to this node."""
+        return self.state.serves_requests
+
+    def mark_down(self) -> None:
+        """Crash-stop the node (fault injection / failure experiments)."""
+        self.state = NodeState.DOWN
+        self.stopped_at = self._simulator.now
+
+    def mark_up(self) -> None:
+        """Recover the node after a crash; stored data survives (disk)."""
+        self.state = NodeState.NORMAL
+        self.stopped_at = None
+
+    def mark_removed(self) -> None:
+        """Final state after decommissioning."""
+        self.state = NodeState.REMOVED
+        self.stopped_at = self._simulator.now
+
+    # ------------------------------------------------------------------
+    # Demand model
+    # ------------------------------------------------------------------
+    def _memory_pressure_multiplier(self) -> float:
+        capacity = self.config.memory_capacity_bytes
+        if capacity <= 0:
+            return 1.0
+        fraction = self.storage.bytes_stored() / capacity
+        excess = fraction - self.config.memory_pressure_threshold
+        if excess <= 0.0:
+            return 1.0
+        return 1.0 + self.config.memory_pressure_slope * excess
+
+    def demand_for(self, factor: float) -> float:
+        """Service demand (seconds) for an operation with the given factor."""
+        return self._base_demand * factor * self._memory_pressure_multiplier()
+
+    @property
+    def utilization(self) -> float:
+        """Last sampled utilisation of the node's server (0..1)."""
+        return self.server.utilization.last_utilization
+
+    def sample_utilization(self) -> float:
+        """Sample and reset the utilisation window (called by the monitor)."""
+        return self.server.utilization.sample(self._simulator.now)
+
+    # ------------------------------------------------------------------
+    # Replica-level operations (invoked after network delivery)
+    # ------------------------------------------------------------------
+    def replica_write(
+        self,
+        key: str,
+        version: VersionedValue,
+        on_done: Callable[[ReplicaWriteResponse], None],
+        background: bool = False,
+    ) -> None:
+        """Apply a replicated write through the node's queue, then call back.
+
+        Foreground writes are subject to mutation dropping: if the queue is
+        already so long that the write would wait longer than the configured
+        ``mutation_timeout``, the node silently discards it (no apply, no
+        acknowledgement).  Background writes (hints, repairs) are never
+        dropped so that convergence mechanisms always make progress.
+        """
+        if not self.is_up:
+            return
+        if background:
+            self.background_ops += 1
+            factor = self.config.repair_demand_factor
+        else:
+            if (
+                self.config.mutation_timeout > 0.0
+                and self.server.estimated_wait() > self.config.mutation_timeout
+            ):
+                self.dropped_mutations += 1
+                return
+            self.foreground_ops += 1
+            factor = self.config.write_demand_factor
+        demand = self.demand_for(factor)
+
+        def _complete(now: float) -> None:
+            applied = self.storage.apply(key, version)
+            on_done(ReplicaWriteResponse(self.node_id, applied, now))
+
+        self.server.submit(demand, _complete, label=f"{self.node_id}:write")
+
+    def replica_read(
+        self,
+        key: str,
+        on_done: Callable[[ReplicaReadResponse], None],
+    ) -> None:
+        """Serve a replica read through the node's queue, then call back."""
+        if not self.is_up:
+            return
+        self.foreground_ops += 1
+        demand = self.demand_for(self.config.read_demand_factor)
+
+        def _complete(now: float) -> None:
+            version = self.storage.get(key)
+            on_done(ReplicaReadResponse(self.node_id, version, now))
+
+        self.server.submit(demand, _complete, label=f"{self.node_id}:read")
+
+    def stream_in(
+        self,
+        items: Dict[str, VersionedValue],
+        on_done: Callable[[float], None],
+    ) -> None:
+        """Apply a chunk of streamed items (rebalancing / RF increase)."""
+        if not self.is_up:
+            return
+        self.background_ops += len(items)
+        demand = self.demand_for(self.config.stream_demand_factor) * max(1, len(items))
+
+        def _complete(now: float) -> None:
+            for key, version in items.items():
+                self.storage.apply(key, version)
+            on_done(now)
+
+        self.server.submit(demand, _complete, label=f"{self.node_id}:stream_in")
+
+    def stream_out(
+        self,
+        keys: list[str],
+        on_done: Callable[[Dict[str, VersionedValue], float], None],
+    ) -> None:
+        """Read a chunk of items for streaming to another node."""
+        if not self.is_up:
+            return
+        self.background_ops += len(keys)
+        demand = self.demand_for(self.config.stream_demand_factor) * max(1, len(keys))
+
+        def _complete(now: float) -> None:
+            items = {}
+            for key in keys:
+                version = self.storage.peek(key)
+                if version is not None:
+                    items[key] = version
+            on_done(items, now)
+
+        self.server.submit(demand, _complete, label=f"{self.node_id}:stream_out")
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, float]:
+        """Snapshot of node-level metrics for the monitoring subsystem."""
+        return {
+            "utilization": self.utilization,
+            "queue_length": float(self.server.queue_length),
+            "keys": float(self.storage.key_count()),
+            "bytes_stored": float(self.storage.bytes_stored()),
+            "memory_fraction": (
+                self.storage.bytes_stored() / self.config.memory_capacity_bytes
+                if self.config.memory_capacity_bytes
+                else 0.0
+            ),
+            "foreground_ops": float(self.foreground_ops),
+            "background_ops": float(self.background_ops),
+            "dropped_mutations": float(self.dropped_mutations),
+            "completed": float(self.server.completed),
+            "up": 1.0 if self.is_up else 0.0,
+        }

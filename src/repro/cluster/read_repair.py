@@ -1,0 +1,103 @@
+"""Read repair.
+
+When a coordinator collects responses from several replicas for the same read
+and their versions disagree, the newest version is pushed asynchronously to
+the stale replicas.  Read repair narrows the inconsistency window for *hot*
+keys (they get read often, so they get repaired often) at the cost of extra
+background write load — one of the trade-offs the controller's planner has to
+weigh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..simulation.engine import Simulator
+from .node import ReplicaReadResponse
+from .versioning import VersionedValue, compare_versions
+
+__all__ = ["ReadRepairConfig", "ReadRepairer"]
+
+
+@dataclass
+class ReadRepairConfig:
+    """Parameters of read repair."""
+
+    enabled: bool = True
+    repair_probability: float = 1.0
+    """Probability that a detected mismatch triggers repair writes."""
+
+
+class ReadRepairer:
+    """Detects replica divergence on reads and schedules repair writes."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: Optional[ReadRepairConfig] = None,
+        deliver: Optional[Callable[[str, str, VersionedValue], bool]] = None,
+    ) -> None:
+        """``deliver(target_node, key, version)`` issues one background repair write."""
+        self._simulator = simulator
+        self._config = config or ReadRepairConfig()
+        self._deliver = deliver
+        self._rng = simulator.streams.stream("read-repair")
+        self.mismatches_detected = 0
+        self.repairs_sent = 0
+        self.repairs_skipped = 0
+
+    @property
+    def config(self) -> ReadRepairConfig:
+        """Read-repair configuration in effect."""
+        return self._config
+
+    def bind(self, deliver: Callable[[str, str, VersionedValue], bool]) -> None:
+        """Late-bind the delivery callback (used by the cluster facade)."""
+        self._deliver = deliver
+
+    def inspect(
+        self, key: str, responses: Sequence[ReplicaReadResponse]
+    ) -> bool:
+        """Check a set of replica responses; repair stale replicas if needed.
+
+        Returns ``True`` when the responses disagreed (digest mismatch), which
+        the coordinator reports on the :class:`~repro.cluster.types.ReadResult`
+        so the piggyback monitor can observe divergence without ground truth.
+        """
+        if len(responses) < 2:
+            return False
+        newest: Optional[VersionedValue] = None
+        for response in responses:
+            if compare_versions(response.version, newest) > 0:
+                newest = response.version
+        if newest is None:
+            return False
+        stale_nodes = [
+            response.node_id
+            for response in responses
+            if compare_versions(response.version, newest) < 0
+        ]
+        if not stale_nodes:
+            return False
+        self.mismatches_detected += 1
+        if not self._config.enabled or self._deliver is None:
+            self.repairs_skipped += len(stale_nodes)
+            return True
+        if self._rng.random() > self._config.repair_probability:
+            self.repairs_skipped += len(stale_nodes)
+            return True
+        for node_id in stale_nodes:
+            if self._deliver(node_id, key, newest):
+                self.repairs_sent += 1
+            else:
+                self.repairs_skipped += 1
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reporting and tests."""
+        return {
+            "mismatches_detected": self.mismatches_detected,
+            "repairs_sent": self.repairs_sent,
+            "repairs_skipped": self.repairs_skipped,
+        }

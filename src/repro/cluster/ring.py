@@ -1,0 +1,171 @@
+"""Consistent-hash ring with virtual nodes.
+
+Data placement follows the Dynamo/Cassandra model: every physical node owns a
+number of virtual nodes (tokens) on a 64-bit hash ring, a key is hashed onto
+the ring, and the replica set ("preference list") for a key is the first
+``replication_factor`` *distinct physical nodes* encountered walking the ring
+clockwise from the key's position.
+
+Virtual nodes keep ownership balanced when the cluster is small and make
+topology changes move only ``1/n`` of the key space on average, which is what
+keeps the data-rebalancing cost of a scale-out action proportional to the
+amount of data a new node must own.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import ConfigurationError, UnknownNodeError
+
+__all__ = ["HashRing", "hash_key"]
+
+_RING_BITS = 64
+_RING_SIZE = 2**_RING_BITS
+
+
+def hash_key(key: str) -> int:
+    """Map an arbitrary string key to a position on the 64-bit ring."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _token_for(node_id: str, replica_index: int) -> int:
+    """Token position of a node's ``replica_index``-th virtual node."""
+    return hash_key(f"{node_id}::vnode::{replica_index}")
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to ordered lists of node ids."""
+
+    def __init__(self, virtual_nodes: int = 64) -> None:
+        if virtual_nodes < 1:
+            raise ConfigurationError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self._virtual_nodes = virtual_nodes
+        self._tokens: List[int] = []
+        self._token_owner: Dict[int, str] = {}
+        self._nodes: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Physical node ids currently on the ring, sorted."""
+        return tuple(sorted(self._nodes))
+
+    @property
+    def size(self) -> int:
+        """Number of physical nodes on the ring."""
+        return len(self._nodes)
+
+    @property
+    def virtual_nodes(self) -> int:
+        """Virtual nodes (tokens) per physical node."""
+        return self._virtual_nodes
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def add_node(self, node_id: str) -> None:
+        """Add a physical node and its virtual nodes to the ring."""
+        if node_id in self._nodes:
+            raise ConfigurationError(f"node {node_id!r} is already on the ring")
+        self._nodes.add(node_id)
+        for i in range(self._virtual_nodes):
+            token = _token_for(node_id, i)
+            # Token collisions across different nodes are astronomically
+            # unlikely with a 64-bit hash but would silently corrupt
+            # ownership, so they are rejected explicitly.
+            if token in self._token_owner:
+                raise ConfigurationError(
+                    f"token collision between {node_id!r} and "
+                    f"{self._token_owner[token]!r}"
+                )
+            self._token_owner[token] = node_id
+            bisect.insort(self._tokens, token)
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a physical node and all its virtual nodes from the ring."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(f"node {node_id!r} is not on the ring")
+        self._nodes.discard(node_id)
+        remaining = [t for t in self._tokens if self._token_owner[t] != node_id]
+        for token in set(self._tokens) - set(remaining):
+            del self._token_owner[token]
+        self._tokens = remaining
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def preference_list(self, key: str, replication_factor: int) -> List[str]:
+        """The ordered replica set for ``key`` (first entry is the primary)."""
+        if replication_factor < 1:
+            raise ConfigurationError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if not self._tokens:
+            return []
+        count = min(replication_factor, len(self._nodes))
+        position = hash_key(key)
+        start = bisect.bisect_right(self._tokens, position) % len(self._tokens)
+        owners: List[str] = []
+        seen: set[str] = set()
+        index = start
+        for _ in range(len(self._tokens)):
+            owner = self._token_owner[self._tokens[index]]
+            if owner not in seen:
+                owners.append(owner)
+                seen.add(owner)
+                if len(owners) == count:
+                    break
+            index = (index + 1) % len(self._tokens)
+        return owners
+
+    def primary(self, key: str) -> Optional[str]:
+        """The primary owner of ``key`` (first node on its preference list)."""
+        owners = self.preference_list(key, 1)
+        return owners[0] if owners else None
+
+    def ownership_fractions(self, sample_keys: int = 4096) -> Dict[str, float]:
+        """Approximate fraction of the key space owned (as primary) per node.
+
+        Computed by sampling ``sample_keys`` evenly spaced ring positions; the
+        result is used by the rebalancer to size streaming transfers and by
+        tests to check the ring stays reasonably balanced.
+        """
+        if not self._tokens:
+            return {}
+        counts: Dict[str, int] = {node: 0 for node in self._nodes}
+        step = _RING_SIZE // sample_keys
+        for i in range(sample_keys):
+            position = i * step
+            start = bisect.bisect_right(self._tokens, position) % len(self._tokens)
+            owner = self._token_owner[self._tokens[start]]
+            counts[owner] += 1
+        return {node: count / sample_keys for node, count in counts.items()}
+
+    def moved_fraction(self, other: "HashRing", sample_keys: int = 2048) -> float:
+        """Fraction of sampled keys whose primary differs between two rings.
+
+        Used to estimate how much data a topology change (this ring vs.
+        ``other``) must move.  With consistent hashing this should be close to
+        ``1/n`` when one node out of ``n`` is added or removed.
+        """
+        if not self._tokens or not other._tokens:
+            return 1.0
+        moved = 0
+        for i in range(sample_keys):
+            key = f"__ring_sample_{i}"
+            if self.primary(key) != other.primary(key):
+                moved += 1
+        return moved / sample_keys
+
+    def copy(self) -> "HashRing":
+        """Deep copy of the ring (used to evaluate hypothetical topologies)."""
+        clone = HashRing(self._virtual_nodes)
+        for node in self._nodes:
+            clone.add_node(node)
+        return clone

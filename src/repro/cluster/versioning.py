@@ -1,0 +1,110 @@
+"""Value versioning for the eventually consistent store.
+
+The substrate uses last-writer-wins (LWW) resolution on coordinator-assigned
+timestamps, the default conflict-resolution strategy of Cassandra-style
+stores.  Each write receives a :class:`VersionStamp` that is unique and
+totally ordered; replicas keep only the newest version per key, plus a small
+recent-history ring used by the consistency analytics to answer "how stale
+was the version this read returned?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["VersionStamp", "VersionedValue", "compare_versions"]
+
+
+@dataclass(frozen=True, order=True)
+class VersionStamp:
+    """Totally ordered version identifier: (timestamp, coordinator sequence)."""
+
+    timestamp: float
+    """Coordinator-assigned commit timestamp (simulation seconds)."""
+
+    sequence: int
+    """Tie-breaking sequence number, unique per simulation run."""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.timestamp:.6f}#{self.sequence}"
+
+
+@dataclass
+class VersionedValue:
+    """A value together with its version stamp and write metadata."""
+
+    stamp: VersionStamp
+    value: Optional[bytes]
+    """Payload; ``None`` marks a tombstone (delete)."""
+
+    write_id: int
+    """Identifier of the client write that produced this version."""
+
+    size: int = 0
+    """Payload size in bytes (used for streaming-cost accounting)."""
+
+    @property
+    def is_tombstone(self) -> bool:
+        """Whether this version represents a deletion."""
+        return self.value is None
+
+
+def compare_versions(a: Optional[VersionedValue], b: Optional[VersionedValue]) -> int:
+    """Three-way comparison of two optional versions under LWW.
+
+    Returns a negative number if ``a`` is older than ``b``, zero if they are
+    the same version (or both missing), positive if ``a`` is newer.  A missing
+    version is older than any present one.
+    """
+    if a is None and b is None:
+        return 0
+    if a is None:
+        return -1
+    if b is None:
+        return 1
+    if a.stamp == b.stamp:
+        return 0
+    return -1 if a.stamp < b.stamp else 1
+
+
+class VersionHistory:
+    """Bounded history of recent versions of one key.
+
+    Only the newest version matters for serving reads; the history exists so
+    that the consistency analytics can compute the *age* of a stale version
+    (time between its commit and the commit of the newest version) without
+    keeping every version forever.
+    """
+
+    __slots__ = ("_versions", "_max_entries")
+
+    def __init__(self, max_entries: int = 8) -> None:
+        self._versions: List[VersionedValue] = []
+        self._max_entries = max_entries
+
+    def add(self, version: VersionedValue) -> None:
+        """Insert a version, keeping the list sorted newest-last and bounded."""
+        self._versions.append(version)
+        self._versions.sort(key=lambda v: v.stamp)
+        if len(self._versions) > self._max_entries:
+            del self._versions[0 : len(self._versions) - self._max_entries]
+
+    @property
+    def newest(self) -> Optional[VersionedValue]:
+        """The most recent version, or ``None`` if empty."""
+        return self._versions[-1] if self._versions else None
+
+    def age_of(self, stamp: VersionStamp) -> float:
+        """Commit-time distance between ``stamp`` and the newest version."""
+        newest = self.newest
+        if newest is None:
+            return 0.0
+        return max(0.0, newest.stamp.timestamp - stamp.timestamp)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def versions(self) -> Tuple[VersionedValue, ...]:
+        """All retained versions, oldest first."""
+        return tuple(self._versions)

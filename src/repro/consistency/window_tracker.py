@@ -1,0 +1,257 @@
+"""Ground-truth inconsistency-window tracking.
+
+The *inconsistency window* of a write is the time between the moment the
+write is acknowledged to its client and the moment every replica of the key
+stops being able to serve an older version — either because it applied this
+write, or because it applied a *newer* one (at which point the older write's
+window is moot).  While the window is open, a read served by a lagging
+replica can return stale data.
+
+A real deployment cannot observe this window directly (that is precisely why
+the paper's first research question asks how to *estimate* it efficiently);
+the simulator can, by listening to the cluster's write-ack and replica-apply
+events.  :class:`InconsistencyWindowTracker` is therefore the reference
+against which the monitoring estimators of :mod:`repro.monitoring` are scored
+in experiment E2, and the source of the "actual consistency" columns in every
+other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..cluster.cluster import ClusterListener
+from ..cluster.versioning import VersionStamp
+from ..simulation.engine import Simulator
+from ..simulation.timeseries import TimeSeries
+
+__all__ = ["WindowRecord", "WindowTrackerConfig", "InconsistencyWindowTracker"]
+
+
+@dataclass
+class WindowRecord:
+    """Lifecycle of one acknowledged write's inconsistency window."""
+
+    key: str
+    stamp: VersionStamp
+    ack_time: float
+    replica_set: Tuple[str, ...]
+    applied: Set[str] = field(default_factory=set)
+    closed_at: Optional[float] = None
+    expired: bool = False
+
+    @property
+    def window(self) -> Optional[float]:
+        """Window size in seconds, or ``None`` while still open."""
+        if self.closed_at is None:
+            return None
+        return max(0.0, self.closed_at - self.ack_time)
+
+    @property
+    def open(self) -> bool:
+        """Whether the window is still open (not all replicas converged)."""
+        return self.closed_at is None and not self.expired
+
+
+@dataclass
+class WindowTrackerConfig:
+    """Parameters of the ground-truth tracker."""
+
+    max_open_age: float = 300.0
+    """Windows still open after this many seconds are recorded as censored.
+
+    Expiry protects the tracker's memory against writes whose replica died
+    permanently; expired windows are folded into the statistics at their
+    lower bound (they were *at least* that large) and counted separately.
+    """
+
+    expiry_scan_interval: float = 30.0
+    """How often the tracker scans for expired open windows."""
+
+    keep_samples: int = 200_000
+    """Maximum number of closed-window samples retained in memory."""
+
+    early_apply_retention: float = 120.0
+    """How long replica applies without a matching ack are remembered."""
+
+
+class InconsistencyWindowTracker(ClusterListener):
+    """Observes cluster events and measures every write's true window."""
+
+    def __init__(
+        self, simulator: Simulator, config: Optional[WindowTrackerConfig] = None
+    ) -> None:
+        self._simulator = simulator
+        self._config = config or WindowTrackerConfig()
+        # Open windows, indexed by key so one replica apply can close every
+        # superseded window of that key in one pass.
+        self._open_by_key: Dict[str, Dict[VersionStamp, WindowRecord]] = {}
+        # Replica applies can arrive before the client ack (the common case:
+        # the W acking replicas applied before the ack by construction), so
+        # recent applies are buffered per key until the ack opens the record.
+        self._recent_applies: Dict[str, List[Tuple[VersionStamp, str, float]]] = {}
+        self._windows = TimeSeries("inconsistency_window")
+        self._samples: List[float] = []
+        self.windows_opened = 0
+        self.windows_closed = 0
+        self.windows_expired = 0
+        self.zero_windows = 0
+        simulator.call_every(
+            self._config.expiry_scan_interval,
+            self._expire_stale_windows,
+            label="window-tracker:expiry",
+            priority=Simulator.PRIORITY_LATE,
+        )
+
+    # ------------------------------------------------------------------
+    # ClusterListener hooks
+    # ------------------------------------------------------------------
+    def on_write_acked(
+        self, key: str, stamp: VersionStamp, ack_time: float, replica_set: Sequence[str]
+    ) -> None:
+        record = WindowRecord(
+            key=key,
+            stamp=stamp,
+            ack_time=ack_time,
+            replica_set=tuple(replica_set),
+        )
+        self.windows_opened += 1
+
+        # Fold in replica applies that already happened (same or newer stamp).
+        for applied_stamp, node_id, _time in self._recent_applies.get(key, ()):  # noqa: B007
+            if applied_stamp >= stamp and node_id in record.replica_set:
+                record.applied.add(node_id)
+
+        if set(record.replica_set) <= record.applied:
+            # Every replica had already converged when the ack went out
+            # (e.g. CL=ALL): the window is zero.
+            record.closed_at = ack_time
+            self.zero_windows += 1
+            self._record_closed(record)
+            return
+        self._open_by_key.setdefault(key, {})[stamp] = record
+
+    def on_replica_applied(
+        self, key: str, stamp: VersionStamp, node_id: str, time: float, background: bool
+    ) -> None:
+        self._remember_apply(key, stamp, node_id, time)
+        open_records = self._open_by_key.get(key)
+        if not open_records:
+            return
+        closed: List[VersionStamp] = []
+        for record_stamp, record in open_records.items():
+            # Applying this stamp (or any newer one) means the replica can no
+            # longer serve a version older than ``record_stamp``.
+            if stamp < record_stamp or node_id not in record.replica_set:
+                continue
+            record.applied.add(node_id)
+            if set(record.replica_set) <= record.applied:
+                record.closed_at = max(time, record.ack_time)
+                closed.append(record_stamp)
+                self._record_closed(record)
+        for record_stamp in closed:
+            del open_records[record_stamp]
+        if not open_records:
+            self._open_by_key.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _remember_apply(
+        self, key: str, stamp: VersionStamp, node_id: str, time: float
+    ) -> None:
+        entries = self._recent_applies.setdefault(key, [])
+        entries.append((stamp, node_id, time))
+        cutoff = self._simulator.now - self._config.early_apply_retention
+        if len(entries) > 32:
+            self._recent_applies[key] = [entry for entry in entries if entry[2] >= cutoff][-32:]
+
+    def _record_closed(self, record: WindowRecord) -> None:
+        self.windows_closed += 1
+        window = record.window or 0.0
+        self._append_sample(window)
+
+    def _append_sample(self, window: float) -> None:
+        self._windows.record(self._simulator.now, window)
+        self._samples.append(window)
+        if len(self._samples) > self._config.keep_samples:
+            del self._samples[0 : len(self._samples) - self._config.keep_samples]
+
+    def _expire_stale_windows(self) -> None:
+        now = self._simulator.now
+        for key in list(self._open_by_key):
+            records = self._open_by_key[key]
+            expired = [
+                stamp
+                for stamp, record in records.items()
+                if now - record.ack_time > self._config.max_open_age
+            ]
+            for stamp in expired:
+                record = records.pop(stamp)
+                record.expired = True
+                self.windows_expired += 1
+                # Censored observation: the window was still open when the
+                # tracker gave up, so it was *at least* this large.  Dropping
+                # it would make a saturated cluster look artificially
+                # consistent.
+                self._append_sample(now - record.ack_time)
+            if not records:
+                del self._open_by_key[key]
+
+        cutoff = now - self._config.early_apply_retention
+        for key in list(self._recent_applies):
+            entries = [entry for entry in self._recent_applies[key] if entry[2] >= cutoff]
+            if entries:
+                self._recent_applies[key] = entries
+            else:
+                del self._recent_applies[key]
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    @property
+    def series(self) -> TimeSeries:
+        """Closed-window sizes as a time series (closing time, window size)."""
+        return self._windows
+
+    @property
+    def open_windows(self) -> int:
+        """Number of windows currently open."""
+        return sum(len(records) for records in self._open_by_key.values())
+
+    def window_percentile(self, q: float, since: Optional[float] = None) -> float:
+        """The ``q``-th percentile of closed windows (optionally since a time)."""
+        if since is None:
+            values = self._samples
+        else:
+            values = self._windows.values_since(since)
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values, dtype=float), q))
+
+    def mean_window(self, since: Optional[float] = None) -> float:
+        """Mean closed window size (optionally since a time)."""
+        values = self._samples if since is None else self._windows.values_since(since)
+        if not values:
+            return 0.0
+        return float(np.mean(values))
+
+    def recent_windows(self, since: float) -> List[float]:
+        """Window sizes closed at or after ``since``."""
+        return list(self._windows.values_since(since))
+
+    def stats(self) -> Dict[str, float]:
+        """Counters and headline statistics for reports."""
+        return {
+            "windows_opened": float(self.windows_opened),
+            "windows_closed": float(self.windows_closed),
+            "windows_expired": float(self.windows_expired),
+            "windows_open_now": float(self.open_windows),
+            "zero_windows": float(self.zero_windows),
+            "mean_window": self.mean_window(),
+            "p95_window": self.window_percentile(95.0),
+            "p99_window": self.window_percentile(99.0),
+        }

@@ -1,0 +1,256 @@
+"""Reconfiguration actions: the levers the autonomous system can pull.
+
+Section 5 (research question 3) enumerates them: "changing the consistency
+levels of the query operations, changing the replication factor, increasing
+the amount of nodes".  Each action knows
+
+* how to apply itself to a cluster,
+* its *direction of effect* on latency, staleness, availability and cost
+  (used by the planner to rule out actions that would aggravate the observed
+  problem — the paper's example of adding a replica under network congestion),
+* and a rough cost class so the stability guard can apply longer cooldowns to
+  heavyweight actions.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cluster.cluster import Cluster
+from ..cluster.errors import ClusterError
+from ..cluster.types import ConsistencyLevel
+
+__all__ = [
+    "ActionKind",
+    "ActionOutcome",
+    "ReconfigurationAction",
+    "AddNodeAction",
+    "RemoveNodeAction",
+    "SetReadConsistencyAction",
+    "SetWriteConsistencyAction",
+    "SetReplicationFactorAction",
+    "NoAction",
+]
+
+
+class ActionKind(enum.Enum):
+    """Action families, used for cooldowns and reports."""
+
+    SCALE_OUT = "scale_out"
+    SCALE_IN = "scale_in"
+    CONSISTENCY = "consistency"
+    REPLICATION = "replication"
+    NONE = "none"
+
+
+@dataclass
+class ActionOutcome:
+    """What happened when an action was applied."""
+
+    action: str
+    kind: ActionKind
+    applied: bool
+    time: float
+    detail: Dict[str, object]
+    error: Optional[str] = None
+
+
+class ReconfigurationAction(abc.ABC):
+    """One concrete reconfiguration the controller may execute."""
+
+    kind: ActionKind = ActionKind.NONE
+    #: Expected direction of effect on each dimension: -1 improves (reduces),
+    #: +1 worsens (increases), 0 neutral.  "improves staleness" means the
+    #: inconsistency window is expected to shrink.
+    effect_on_latency: int = 0
+    effect_on_staleness: int = 0
+    effect_on_cost: int = 0
+    #: Whether the action adds replication/network traffic while it executes.
+    adds_network_traffic: bool = False
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable description used in logs and reports."""
+
+    @abc.abstractmethod
+    def apply(self, cluster: Cluster, time: float) -> ActionOutcome:
+        """Execute the action against the cluster."""
+
+    def _outcome(
+        self,
+        time: float,
+        applied: bool,
+        detail: Optional[Dict[str, object]] = None,
+        error: Optional[str] = None,
+    ) -> ActionOutcome:
+        return ActionOutcome(
+            action=self.describe(),
+            kind=self.kind,
+            applied=applied,
+            time=time,
+            detail=detail or {},
+            error=error,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}: {self.describe()}>"
+
+
+class AddNodeAction(ReconfigurationAction):
+    """Provision one extra storage node (scale out)."""
+
+    kind = ActionKind.SCALE_OUT
+    effect_on_latency = -1
+    effect_on_staleness = -1
+    effect_on_cost = +1
+    adds_network_traffic = True
+
+    def describe(self) -> str:
+        return "add_node"
+
+    def apply(self, cluster: Cluster, time: float) -> ActionOutcome:
+        try:
+            node_id, session = cluster.add_node()
+        except ClusterError as exc:
+            return self._outcome(time, False, error=str(exc))
+        detail: Dict[str, object] = {"node": node_id}
+        if session is not None:
+            detail["bootstrap_keys"] = session.total_keys
+        return self._outcome(time, True, detail)
+
+
+class RemoveNodeAction(ReconfigurationAction):
+    """Decommission one storage node (scale in)."""
+
+    kind = ActionKind.SCALE_IN
+    effect_on_latency = +1
+    effect_on_staleness = +1
+    effect_on_cost = -1
+    adds_network_traffic = True
+
+    def __init__(self, node_id: Optional[str] = None) -> None:
+        self._node_id = node_id
+
+    def describe(self) -> str:
+        suffix = f":{self._node_id}" if self._node_id else ""
+        return f"remove_node{suffix}"
+
+    def apply(self, cluster: Cluster, time: float) -> ActionOutcome:
+        try:
+            node_id, session = cluster.remove_node(self._node_id)
+        except ClusterError as exc:
+            return self._outcome(time, False, error=str(exc))
+        detail: Dict[str, object] = {"node": node_id}
+        if session is not None:
+            detail["drain_keys"] = session.total_keys
+        return self._outcome(time, True, detail)
+
+
+class SetReadConsistencyAction(ReconfigurationAction):
+    """Change the default read consistency level."""
+
+    kind = ActionKind.CONSISTENCY
+    adds_network_traffic = False
+
+    def __init__(self, level: ConsistencyLevel, strengthening: Optional[bool] = None) -> None:
+        self._level = level
+        # Strengthening reads improves staleness but worsens read latency.
+        self._strengthening = strengthening
+        self.effect_on_staleness = -1 if strengthening else +1
+        self.effect_on_latency = +1 if strengthening else -1
+        self.effect_on_cost = 0
+
+    @property
+    def level(self) -> ConsistencyLevel:
+        """Target read consistency level."""
+        return self._level
+
+    def describe(self) -> str:
+        return f"set_read_consistency:{self._level.value}"
+
+    def apply(self, cluster: Cluster, time: float) -> ActionOutcome:
+        previous = cluster.read_consistency
+        cluster.set_read_consistency(self._level)
+        return self._outcome(
+            time, True, {"from": previous.value, "to": self._level.value}
+        )
+
+
+class SetWriteConsistencyAction(ReconfigurationAction):
+    """Change the default write consistency level."""
+
+    kind = ActionKind.CONSISTENCY
+    adds_network_traffic = False
+
+    def __init__(self, level: ConsistencyLevel, strengthening: Optional[bool] = None) -> None:
+        self._level = level
+        self._strengthening = strengthening
+        self.effect_on_staleness = -1 if strengthening else +1
+        self.effect_on_latency = +1 if strengthening else -1
+        self.effect_on_cost = 0
+
+    @property
+    def level(self) -> ConsistencyLevel:
+        """Target write consistency level."""
+        return self._level
+
+    def describe(self) -> str:
+        return f"set_write_consistency:{self._level.value}"
+
+    def apply(self, cluster: Cluster, time: float) -> ActionOutcome:
+        previous = cluster.write_consistency
+        cluster.set_write_consistency(self._level)
+        return self._outcome(
+            time, True, {"from": previous.value, "to": self._level.value}
+        )
+
+
+class SetReplicationFactorAction(ReconfigurationAction):
+    """Change the replication factor (triggers a background fill when raised)."""
+
+    kind = ActionKind.REPLICATION
+    adds_network_traffic = True
+
+    def __init__(self, replication_factor: int) -> None:
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        self._replication_factor = replication_factor
+        self.effect_on_cost = 0
+        # Raising RF improves durability/read availability but adds write
+        # fan-out (latency at strict CLs) and more replicas to keep in sync.
+        self.effect_on_latency = +1
+        self.effect_on_staleness = +1
+
+    @property
+    def replication_factor(self) -> int:
+        """Target replication factor."""
+        return self._replication_factor
+
+    def describe(self) -> str:
+        return f"set_replication_factor:{self._replication_factor}"
+
+    def apply(self, cluster: Cluster, time: float) -> ActionOutcome:
+        previous = cluster.replication_factor
+        try:
+            session = cluster.set_replication_factor(self._replication_factor)
+        except ClusterError as exc:
+            return self._outcome(time, False, error=str(exc))
+        detail: Dict[str, object] = {"from": previous, "to": self._replication_factor}
+        if session is not None:
+            detail["fill_keys"] = session.total_keys
+        return self._outcome(time, True, detail)
+
+
+class NoAction(ReconfigurationAction):
+    """Explicit "do nothing" decision (recorded for convergence analysis)."""
+
+    kind = ActionKind.NONE
+
+    def describe(self) -> str:
+        return "no_action"
+
+    def apply(self, cluster: Cluster, time: float) -> ActionOutcome:
+        return self._outcome(time, True, {})

@@ -1,0 +1,223 @@
+"""Analysis phase of the MAPE-K loop: symptoms and root causes.
+
+The planner must not just notice *that* an SLO is at risk but *why*, because
+the right action depends on the cause (research question 3: "choosing the
+wrong reconfiguration action can make the problem worse... when the
+performance of the database cluster degrades due to network congestion,
+adding an extra replica will only cause more network traffic").  The analyzer
+therefore labels each evaluation round with:
+
+* **symptoms** — which SLOs are violated or inside the safety margin, and
+* **root causes** — CPU saturation, network congestion, replication lag,
+  over-provisioning, or consistency configuration mismatches,
+
+derived from observable metrics only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .knowledge import KnowledgeBase
+from .sla import SLA, SLAEvaluation, SLOEvaluation, SystemObservation
+
+__all__ = ["Symptom", "RootCause", "AnalysisConfig", "AnalysisResult", "Analyzer"]
+
+
+class Symptom(enum.Enum):
+    """What is (about to go) wrong, in SLA terms."""
+
+    LATENCY_VIOLATION = "latency_violation"
+    LATENCY_AT_RISK = "latency_at_risk"
+    STALENESS_VIOLATION = "staleness_violation"
+    STALENESS_AT_RISK = "staleness_at_risk"
+    AVAILABILITY_VIOLATION = "availability_violation"
+    COST_WASTE = "cost_waste"
+
+
+class RootCause(enum.Enum):
+    """Why it is going wrong, in system terms."""
+
+    CPU_SATURATION = "cpu_saturation"
+    NETWORK_CONGESTION = "network_congestion"
+    REPLICATION_LAG = "replication_lag"
+    CONSISTENCY_TOO_WEAK = "consistency_too_weak"
+    CONSISTENCY_TOO_STRICT = "consistency_too_strict"
+    OVER_PROVISIONED = "over_provisioned"
+    LOAD_INCREASING = "load_increasing"
+    LOAD_DECREASING = "load_decreasing"
+
+
+@dataclass
+class AnalysisConfig:
+    """Thresholds used by the analyzer."""
+
+    risk_margin: float = 0.2
+    """An SLO whose normalised margin drops below this is "at risk"."""
+
+    saturation_utilization: float = 0.8
+    """Max node utilisation above which the CPU is the suspected bottleneck."""
+
+    idle_utilization: float = 0.35
+    """Mean utilisation below which the cluster may be over-provisioned."""
+
+    congestion_factor: float = 1.5
+    """Network congestion multiplier above which the network is suspected."""
+
+    waste_margin: float = 0.5
+    """All SLOs need at least this margin before cost optimisation kicks in."""
+
+    forecast_horizon: float = 300.0
+    """How far ahead the load trend is evaluated (seconds)."""
+
+    load_trend_threshold: float = 0.15
+    """Relative forecast change that counts as an increasing/decreasing trend."""
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the planner needs about one evaluation round."""
+
+    time: float
+    observation: SystemObservation
+    evaluation: SLAEvaluation
+    symptoms: Set[Symptom] = field(default_factory=set)
+    root_causes: Set[RootCause] = field(default_factory=set)
+    margins: Dict[str, float] = field(default_factory=dict)
+    forecast_load: float = 0.0
+
+    @property
+    def healthy(self) -> bool:
+        """No violation and nothing at risk."""
+        problem_symptoms = {
+            Symptom.LATENCY_VIOLATION,
+            Symptom.STALENESS_VIOLATION,
+            Symptom.AVAILABILITY_VIOLATION,
+            Symptom.LATENCY_AT_RISK,
+            Symptom.STALENESS_AT_RISK,
+        }
+        return not (self.symptoms & problem_symptoms)
+
+    def has(self, symptom: Symptom) -> bool:
+        """Whether a symptom was detected."""
+        return symptom in self.symptoms
+
+    def caused_by(self, cause: RootCause) -> bool:
+        """Whether a root cause was detected."""
+        return cause in self.root_causes
+
+
+class Analyzer:
+    """Turns (observation, SLA outcome, knowledge) into symptoms and causes."""
+
+    def __init__(self, config: Optional[AnalysisConfig] = None) -> None:
+        self.config = config or AnalysisConfig()
+
+    def analyze(
+        self,
+        observation: SystemObservation,
+        evaluation: SLAEvaluation,
+        knowledge: KnowledgeBase,
+        sla: SLA,
+    ) -> AnalysisResult:
+        """Produce the analysis for one evaluation round."""
+        cfg = self.config
+        result = AnalysisResult(
+            time=observation.time, observation=observation, evaluation=evaluation
+        )
+        result.margins = {outcome.name: outcome.margin for outcome in evaluation.outcomes}
+        result.forecast_load = knowledge.load_forecast_peak(cfg.forecast_horizon)
+
+        self._detect_symptoms(result, evaluation)
+        self._detect_root_causes(result, observation, knowledge, sla)
+        return result
+
+    # ------------------------------------------------------------------
+    # Symptoms
+    # ------------------------------------------------------------------
+    def _detect_symptoms(self, result: AnalysisResult, evaluation: SLAEvaluation) -> None:
+        cfg = self.config
+        for outcome in evaluation.outcomes:
+            is_latency = outcome.name.endswith("latency")
+            is_staleness = outcome.name == "staleness"
+            is_availability = outcome.name == "availability"
+            if not outcome.satisfied:
+                if is_latency:
+                    result.symptoms.add(Symptom.LATENCY_VIOLATION)
+                elif is_staleness:
+                    result.symptoms.add(Symptom.STALENESS_VIOLATION)
+                elif is_availability:
+                    result.symptoms.add(Symptom.AVAILABILITY_VIOLATION)
+            elif outcome.margin < cfg.risk_margin:
+                if is_latency:
+                    result.symptoms.add(Symptom.LATENCY_AT_RISK)
+                elif is_staleness:
+                    result.symptoms.add(Symptom.STALENESS_AT_RISK)
+
+        all_comfortable = all(
+            outcome.margin >= cfg.waste_margin for outcome in evaluation.outcomes
+        )
+        if (
+            all_comfortable
+            and result.observation.mean_utilization < cfg.idle_utilization
+            and result.observation.node_count > 1
+        ):
+            result.symptoms.add(Symptom.COST_WASTE)
+
+    # ------------------------------------------------------------------
+    # Root causes
+    # ------------------------------------------------------------------
+    def _detect_root_causes(
+        self,
+        result: AnalysisResult,
+        observation: SystemObservation,
+        knowledge: KnowledgeBase,
+        sla: SLA,
+    ) -> None:
+        cfg = self.config
+        if observation.max_utilization >= cfg.saturation_utilization:
+            result.root_causes.add(RootCause.CPU_SATURATION)
+        if observation.network_congestion >= cfg.congestion_factor:
+            result.root_causes.add(RootCause.NETWORK_CONGESTION)
+        if observation.mean_utilization <= cfg.idle_utilization:
+            result.root_causes.add(RootCause.OVER_PROVISIONED)
+
+        staleness_slo = sla.staleness_objective()
+        if staleness_slo is not None:
+            window_ratio = (
+                observation.inconsistency_window_p95 / staleness_slo.max_window_p95
+                if staleness_slo.max_window_p95 > 0
+                else 0.0
+            )
+            if window_ratio > 1.0 - cfg.risk_margin:
+                result.root_causes.add(RootCause.REPLICATION_LAG)
+                if observation.max_utilization < cfg.saturation_utilization:
+                    # Lag without saturation points at the consistency config
+                    # (too few replicas consulted) rather than at capacity.
+                    result.root_causes.add(RootCause.CONSISTENCY_TOO_WEAK)
+
+        # A latency problem without saturation, while staleness has a large
+        # margin, suggests the consistency levels are stricter than the SLA
+        # requires.
+        latency_stressed = (
+            Symptom.LATENCY_VIOLATION in result.symptoms
+            or Symptom.LATENCY_AT_RISK in result.symptoms
+        )
+        staleness_margin = result.margins.get("staleness", 1.0)
+        if (
+            latency_stressed
+            and observation.max_utilization < cfg.saturation_utilization
+            and staleness_margin > cfg.waste_margin
+            and observation.read_consistency not in ("ONE", "")
+        ):
+            result.root_causes.add(RootCause.CONSISTENCY_TOO_STRICT)
+
+        # Load trend from the forecaster.
+        current_load = max(observation.throughput_ops, observation.offered_rate, 1e-9)
+        forecast = result.forecast_load
+        if forecast > current_load * (1.0 + cfg.load_trend_threshold):
+            result.root_causes.add(RootCause.LOAD_INCREASING)
+        elif forecast < current_load * (1.0 - cfg.load_trend_threshold):
+            result.root_causes.add(RootCause.LOAD_DECREASING)

@@ -1,0 +1,35 @@
+"""Scaling policies: the paper's SLA-driven controller and its baselines."""
+
+from .base import ScalingPolicy
+from .predictive import PredictiveConfig, PredictivePolicy
+from .reactive import ReactiveThresholdConfig, ReactiveThresholdPolicy
+from .sla_driven import SLADrivenPolicy
+from .static import OverprovisionedStaticPolicy, StaticPolicy
+
+__all__ = [
+    "ScalingPolicy",
+    "StaticPolicy",
+    "OverprovisionedStaticPolicy",
+    "ReactiveThresholdPolicy",
+    "ReactiveThresholdConfig",
+    "PredictivePolicy",
+    "PredictiveConfig",
+    "SLADrivenPolicy",
+    "make_policy",
+]
+
+
+def make_policy(name: str, **kwargs: object) -> ScalingPolicy:
+    """Factory mapping the policy names used in experiment specs to instances."""
+    lowered = name.lower()
+    if lowered == "static":
+        return StaticPolicy()
+    if lowered in ("overprovisioned", "overprovisioned_static"):
+        return OverprovisionedStaticPolicy()
+    if lowered in ("reactive", "reactive_threshold"):
+        return ReactiveThresholdPolicy(**kwargs)  # type: ignore[arg-type]
+    if lowered == "predictive":
+        return PredictivePolicy(**kwargs)  # type: ignore[arg-type]
+    if lowered in ("sla_driven", "sla-driven", "sladriven"):
+        return SLADrivenPolicy(**kwargs)  # type: ignore[arg-type]
+    raise ValueError(f"unknown policy {name!r}")

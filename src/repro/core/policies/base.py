@@ -1,0 +1,39 @@
+"""Scaling-policy interface.
+
+A policy is the pluggable "Plan" brain of the controller: given the knowledge
+base, this round's analysis and the SLA, it proposes reconfiguration actions.
+Keeping the interface tiny makes the baselines (static, reactive threshold,
+predictive) and the paper's SLA-driven policy interchangeable inside the same
+controller, which is exactly what experiments E5 and E6 compare.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+from ..actions import ReconfigurationAction
+from ..analyzer import AnalysisResult
+from ..knowledge import KnowledgeBase
+from ..sla import SLA
+
+__all__ = ["ScalingPolicy"]
+
+
+class ScalingPolicy(abc.ABC):
+    """Decides which reconfiguration actions to propose each round."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        analysis: AnalysisResult,
+        knowledge: KnowledgeBase,
+        sla: SLA,
+        cluster_state: Dict[str, object],
+    ) -> List[ReconfigurationAction]:
+        """Propose actions for this evaluation round (may be empty)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

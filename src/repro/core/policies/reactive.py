@@ -1,0 +1,79 @@
+"""Reactive threshold-based auto-scaling (the industry-standard baseline).
+
+This is the rule every mainstream autoscaler (EC2 target tracking, KEDA,
+Kubernetes HPA) implements: watch a utilisation metric, add a node when it
+exceeds a high-water mark, remove one when it falls below a low-water mark.
+It knows nothing about consistency, SLAs or the future — which is exactly
+what experiments E5/E6 exploit to show the delta of the paper's approach: the
+reactive policy reacts *after* the inconsistency window has already blown
+through the SLO and keeps paying for the lag of its own scaling actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..actions import AddNodeAction, ReconfigurationAction, RemoveNodeAction
+from ..analyzer import AnalysisResult
+from ..knowledge import KnowledgeBase
+from ..sla import SLA
+from .base import ScalingPolicy
+
+__all__ = ["ReactiveThresholdConfig", "ReactiveThresholdPolicy"]
+
+
+@dataclass
+class ReactiveThresholdConfig:
+    """Thresholds of the reactive policy."""
+
+    scale_out_utilization: float = 0.75
+    """Mean utilisation above which one node is added."""
+
+    scale_in_utilization: float = 0.3
+    """Mean utilisation below which one node is removed."""
+
+    min_nodes: int = 2
+    max_nodes: int = 32
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when thresholds are inconsistent."""
+        if not 0.0 < self.scale_in_utilization < self.scale_out_utilization <= 1.0:
+            raise ValueError(
+                "require 0 < scale_in_utilization < scale_out_utilization <= 1"
+            )
+        if self.min_nodes < 1 or self.max_nodes < self.min_nodes:
+            raise ValueError("require 1 <= min_nodes <= max_nodes")
+
+
+class ReactiveThresholdPolicy(ScalingPolicy):
+    """Utilisation-threshold scaling, consistency-agnostic."""
+
+    name = "reactive_threshold"
+
+    def __init__(self, config: Optional[ReactiveThresholdConfig] = None) -> None:
+        self.config = config or ReactiveThresholdConfig()
+        self.config.validate()
+
+    def decide(
+        self,
+        analysis: AnalysisResult,
+        knowledge: KnowledgeBase,
+        sla: SLA,
+        cluster_state: Dict[str, object],
+    ) -> List[ReconfigurationAction]:
+        observation = analysis.observation
+        node_count = int(cluster_state.get("node_count", observation.node_count))
+        utilization = observation.mean_utilization
+
+        if (
+            utilization >= self.config.scale_out_utilization
+            and node_count < self.config.max_nodes
+        ):
+            return [AddNodeAction()]
+        if (
+            utilization <= self.config.scale_in_utilization
+            and node_count > max(self.config.min_nodes, observation.replication_factor)
+        ):
+            return [RemoveNodeAction()]
+        return []

@@ -1,0 +1,48 @@
+"""Static (do-nothing) policies.
+
+Two baselines from the paper's motivation section:
+
+* :class:`StaticPolicy` — the configuration chosen at deployment time is
+  never touched.  Cheap when the guess was right, an SLA disaster when load
+  or interference drifts (Section 2's core argument).
+* :class:`OverprovisionedStaticPolicy` — the defensive variant: also never
+  acts, but is meant to be deployed on a cluster sized for the *peak* load
+  with strict consistency levels.  It meets the SLA by overallocation, which
+  is precisely the waste the paper wants to eliminate (Section 3).  The class
+  only differs in name — the over-provisioning itself is part of the
+  scenario's initial cluster size — but keeping it separate makes experiment
+  tables self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..actions import ReconfigurationAction
+from ..analyzer import AnalysisResult
+from ..knowledge import KnowledgeBase
+from ..sla import SLA
+from .base import ScalingPolicy
+
+__all__ = ["StaticPolicy", "OverprovisionedStaticPolicy"]
+
+
+class StaticPolicy(ScalingPolicy):
+    """Never reconfigures anything."""
+
+    name = "static"
+
+    def decide(
+        self,
+        analysis: AnalysisResult,
+        knowledge: KnowledgeBase,
+        sla: SLA,
+        cluster_state: Dict[str, object],
+    ) -> List[ReconfigurationAction]:
+        return []
+
+
+class OverprovisionedStaticPolicy(StaticPolicy):
+    """Never reconfigures; deployed on a peak-sized cluster by the scenario."""
+
+    name = "overprovisioned_static"

@@ -1,0 +1,14 @@
+"""Cost models: pay-as-you-use billing, consistency compensation, SLA penalties."""
+
+from .billing import BillingModel, BillingRates
+from .compensation import CompensationModel, CompensationRates
+from .report import CostAccountant, CostReport
+
+__all__ = [
+    "BillingModel",
+    "BillingRates",
+    "CompensationModel",
+    "CompensationRates",
+    "CostAccountant",
+    "CostReport",
+]

@@ -1,0 +1,458 @@
+"""Inconsistency-window estimators (the paper's research question 1).
+
+Three estimation techniques, matching the families the paper sketches:
+
+* :class:`ReadAfterWriteProber` — *active probing*: write a marker to a dummy
+  key and read it back repeatedly until the new version is visible; the
+  elapsed time bounds the inconsistency window.  Accurate and workload
+  independent, but every probe adds load (its cost is accounted explicitly).
+* :class:`PiggybackMonitor` — *passive measurement on production traffic*: a
+  middleware that sees client requests can remember which version of a key
+  was last acknowledged and flag any later read that returns an older
+  version.  Nearly free, but it only observes keys the application happens to
+  read and only detects staleness when a read actually hits a lagging
+  replica.
+* :class:`RttEstimator` — *model-based estimation*: no extra requests at all;
+  the window is predicted from observable system metrics (write latency,
+  utilisation, congestion) through a queueing-style formula.  Cheapest and
+  least accurate, particularly under conditions the model does not capture.
+
+Each estimator produces :class:`WindowEstimate` snapshots on a fixed
+reporting interval so experiment E2 can score accuracy against the ground
+truth tracker while charging each technique its measured overhead.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.cluster import Cluster, ClusterListener
+from ..cluster.types import ConsistencyLevel, OperationType, ReadResult, WriteResult
+from ..simulation.engine import PeriodicTask, Simulator
+from ..simulation.timeseries import TimeSeries
+from .percentiles import WindowedPercentiles
+
+__all__ = [
+    "WindowEstimate",
+    "ConsistencyEstimator",
+    "ProbeConfig",
+    "ReadAfterWriteProber",
+    "PiggybackMonitor",
+    "RttEstimatorConfig",
+    "RttEstimator",
+]
+
+
+@dataclass
+class WindowEstimate:
+    """One estimator's belief about the current inconsistency window."""
+
+    time: float
+    source: str
+    mean_window: float
+    p95_window: float
+    stale_read_fraction: float
+    samples: int
+    """Number of underlying measurements in this estimate (0 = no signal)."""
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for tables."""
+        return {
+            "time": self.time,
+            "mean_window": self.mean_window,
+            "p95_window": self.p95_window,
+            "stale_read_fraction": self.stale_read_fraction,
+            "samples": float(self.samples),
+        }
+
+
+class ConsistencyEstimator(abc.ABC):
+    """Common interface of all inconsistency-window estimators."""
+
+    name: str = "estimator"
+
+    def __init__(self, simulator: Simulator, report_interval: float = 10.0) -> None:
+        self._simulator = simulator
+        self._report_interval = report_interval
+        self._estimates: List[WindowEstimate] = []
+        self.estimate_series = TimeSeries(f"{self.name}_window_estimate")
+        self._report_task = simulator.call_every(
+            report_interval,
+            self._emit_estimate,
+            label=f"{self.name}:report",
+            priority=Simulator.PRIORITY_LATE,
+        )
+
+    @abc.abstractmethod
+    def _build_estimate(self, now: float) -> WindowEstimate:
+        """Produce the estimate for the window that just ended."""
+
+    def _emit_estimate(self) -> None:
+        now = self._simulator.now
+        estimate = self._build_estimate(now)
+        self._estimates.append(estimate)
+        self.estimate_series.record(now, estimate.p95_window)
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[WindowEstimate]:
+        """Most recent estimate (or ``None`` before the first report)."""
+        return self._estimates[-1] if self._estimates else None
+
+    def estimates(self) -> List[WindowEstimate]:
+        """All estimates produced so far."""
+        return list(self._estimates)
+
+    def operations_issued(self) -> int:
+        """Extra cluster operations this estimator generated (its load cost)."""
+        return 0
+
+    def stop(self) -> None:
+        """Stop reporting (and probing, for active estimators)."""
+        self._report_task.stop()
+
+
+# ----------------------------------------------------------------------
+# Active probing
+# ----------------------------------------------------------------------
+@dataclass
+class ProbeConfig:
+    """Parameters of the read-after-write prober."""
+
+    probe_interval: float = 5.0
+    """Seconds between probe writes."""
+
+    read_gap: float = 0.05
+    """Seconds between successive probe reads of the same marker."""
+
+    max_reads: int = 40
+    """Probe reads per marker before giving up (caps probe cost)."""
+
+    report_interval: float = 10.0
+    """Seconds between emitted estimates."""
+
+    probe_key_prefix: str = "__consistency_probe__"
+    """Dummy-table key prefix (kept out of the application key space)."""
+
+    read_consistency: ConsistencyLevel = ConsistencyLevel.ONE
+    write_consistency: ConsistencyLevel = ConsistencyLevel.ONE
+
+
+class ReadAfterWriteProber(ConsistencyEstimator):
+    """Active read-after-write probing on a dummy table."""
+
+    name = "probe"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cluster: Cluster,
+        config: Optional[ProbeConfig] = None,
+    ) -> None:
+        self._cluster = cluster
+        self._config = config or ProbeConfig()
+        super().__init__(simulator, self._config.report_interval)
+        self._probe_sequence = itertools.count(1)
+        self._window_samples = WindowedPercentiles(window=512)
+        self._recent_samples: List[float] = []
+        self._recent_unresolved = 0
+        self._ops_issued = 0
+        self.probes_started = 0
+        self.probes_resolved = 0
+        self.probes_unresolved = 0
+        self._probe_task = simulator.call_every(
+            self._config.probe_interval,
+            self._start_probe,
+            label="probe:write",
+        )
+
+    @property
+    def config(self) -> ProbeConfig:
+        """Probe configuration in effect."""
+        return self._config
+
+    def set_probe_interval(self, interval: float) -> None:
+        """Adapt the probe rate (used by the overhead/accuracy sweep in E2)."""
+        self._probe_task.set_interval(interval)
+        self._config.probe_interval = interval
+
+    def operations_issued(self) -> int:
+        return self._ops_issued
+
+    # -- probe lifecycle -------------------------------------------------
+    def _start_probe(self) -> None:
+        sequence = next(self._probe_sequence)
+        key = f"{self._config.probe_key_prefix}/{sequence % 64}"
+        marker = f"{sequence}".encode("ascii")
+        self.probes_started += 1
+        self._ops_issued += 1
+        self._cluster.write(
+            key,
+            value=marker,
+            size=len(marker),
+            consistency_level=self._config.write_consistency,
+            operation=OperationType.PROBE_WRITE,
+            on_complete=lambda result, k=key: self._probe_write_done(k, result),
+        )
+
+    def _probe_write_done(self, key: str, result: WriteResult) -> None:
+        if not result.success or result.version_timestamp is None:
+            self.probes_unresolved += 1
+            self._recent_unresolved += 1
+            return
+        ack_time = result.completed_at
+        self._schedule_probe_read(key, result.version_timestamp, ack_time, attempt=0)
+
+    def _schedule_probe_read(
+        self, key: str, version_timestamp: float, ack_time: float, attempt: int
+    ) -> None:
+        delay = 0.0 if attempt == 0 else self._config.read_gap
+        self._simulator.schedule_in(
+            delay,
+            self._issue_probe_read,
+            key,
+            version_timestamp,
+            ack_time,
+            attempt,
+            label="probe:read",
+        )
+
+    def _issue_probe_read(
+        self, key: str, version_timestamp: float, ack_time: float, attempt: int
+    ) -> None:
+        self._ops_issued += 1
+        self._cluster.read(
+            key,
+            consistency_level=self._config.read_consistency,
+            operation=OperationType.PROBE_READ,
+            on_complete=lambda result: self._probe_read_done(
+                key, version_timestamp, ack_time, attempt, result
+            ),
+        )
+
+    def _probe_read_done(
+        self,
+        key: str,
+        version_timestamp: float,
+        ack_time: float,
+        attempt: int,
+        result: ReadResult,
+    ) -> None:
+        fresh = (
+            result.success
+            and result.version_timestamp is not None
+            and result.version_timestamp >= version_timestamp
+        )
+        if fresh:
+            window = max(0.0, self._simulator.now - ack_time - result.latency)
+            self.probes_resolved += 1
+            self._window_samples.observe(window)
+            self._recent_samples.append(window)
+            return
+        if attempt + 1 >= self._config.max_reads:
+            self.probes_unresolved += 1
+            self._recent_unresolved += 1
+            # Record the censored observation at the probing horizon so the
+            # estimator degrades towards "at least this big" rather than
+            # silently dropping its worst cases.
+            horizon = self._config.read_gap * self._config.max_reads
+            self._window_samples.observe(horizon)
+            self._recent_samples.append(horizon)
+            return
+        self._schedule_probe_read(key, version_timestamp, ack_time, attempt + 1)
+
+    # -- reporting --------------------------------------------------------
+    def _build_estimate(self, now: float) -> WindowEstimate:
+        samples = self._recent_samples
+        if samples:
+            arr = np.asarray(samples, dtype=float)
+            mean_window = float(arr.mean())
+            p95_window = float(np.percentile(arr, 95))
+            stale_fraction = float(np.mean(arr > self._config.read_gap))
+        else:
+            mean_window = self._window_samples.mean()
+            p95_window = self._window_samples.percentile(95)
+            stale_fraction = 0.0
+        estimate = WindowEstimate(
+            time=now,
+            source=self.name,
+            mean_window=mean_window,
+            p95_window=p95_window,
+            stale_read_fraction=stale_fraction,
+            samples=len(samples),
+        )
+        self._recent_samples = []
+        self._recent_unresolved = 0
+        return estimate
+
+    def stop(self) -> None:
+        super().stop()
+        self._probe_task.stop()
+
+
+# ----------------------------------------------------------------------
+# Passive piggyback measurement
+# ----------------------------------------------------------------------
+class PiggybackMonitor(ConsistencyEstimator, ClusterListener):
+    """Passive staleness detection on production traffic.
+
+    The monitor plays the role of a client-side middleware that sees every
+    request and response: it remembers the newest version acknowledged for
+    each key and flags production reads that return an older version.  The
+    window estimate for a stale read is the elapsed time between the newer
+    version's acknowledgement and the stale read — a *lower bound* on the
+    true window for that write (the replica was still stale at that point).
+    """
+
+    name = "piggyback"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cluster: Cluster,
+        report_interval: float = 10.0,
+        max_tracked_keys: int = 100_000,
+    ) -> None:
+        ConsistencyEstimator.__init__(self, simulator, report_interval)
+        self._cluster = cluster
+        self._max_tracked_keys = max_tracked_keys
+        self._acked: Dict[str, tuple[float, float]] = {}
+        """key -> (version timestamp, ack completion time) of the newest acked write."""
+
+        self._recent_windows: List[float] = []
+        self._recent_reads = 0
+        self._recent_stale = 0
+        self._all_windows = WindowedPercentiles(window=1024)
+        self.reads_observed = 0
+        self.stale_reads_observed = 0
+        cluster.add_listener(self)
+
+    # -- ClusterListener hooks -------------------------------------------
+    def on_operation_completed(self, result: object) -> None:
+        if isinstance(result, WriteResult):
+            if not result.success or result.version_timestamp is None:
+                return
+            if result.operation.is_probe:
+                return
+            current = self._acked.get(result.key)
+            if current is None or result.version_timestamp > current[0]:
+                if len(self._acked) >= self._max_tracked_keys and result.key not in self._acked:
+                    # Bounded memory: drop an arbitrary old entry.
+                    self._acked.pop(next(iter(self._acked)))
+                self._acked[result.key] = (result.version_timestamp, result.completed_at)
+            return
+        if not isinstance(result, ReadResult) or not result.success:
+            return
+        if result.operation.is_probe:
+            return
+        reference = self._acked.get(result.key)
+        if reference is None:
+            return
+        reference_ts, reference_ack_time = reference
+        if reference_ack_time > result.issued_at:
+            # The ack happened after the read was issued; not a valid reference.
+            return
+        self.reads_observed += 1
+        self._recent_reads += 1
+        returned_ts = result.version_timestamp if result.version_timestamp is not None else -1.0
+        if returned_ts < reference_ts:
+            self.stale_reads_observed += 1
+            self._recent_stale += 1
+            window_bound = max(0.0, result.issued_at - reference_ack_time)
+            self._recent_windows.append(window_bound)
+            self._all_windows.observe(window_bound)
+
+    # -- reporting --------------------------------------------------------
+    def _build_estimate(self, now: float) -> WindowEstimate:
+        if self._recent_windows:
+            arr = np.asarray(self._recent_windows, dtype=float)
+            mean_window = float(arr.mean())
+            p95_window = float(np.percentile(arr, 95))
+        else:
+            mean_window = 0.0
+            p95_window = 0.0
+        stale_fraction = (
+            self._recent_stale / self._recent_reads if self._recent_reads else 0.0
+        )
+        estimate = WindowEstimate(
+            time=now,
+            source=self.name,
+            mean_window=mean_window,
+            p95_window=p95_window,
+            stale_read_fraction=stale_fraction,
+            samples=len(self._recent_windows),
+        )
+        self._recent_windows = []
+        self._recent_reads = 0
+        self._recent_stale = 0
+        return estimate
+
+
+# ----------------------------------------------------------------------
+# Model-based estimation from RTT / utilisation metrics
+# ----------------------------------------------------------------------
+@dataclass
+class RttEstimatorConfig:
+    """Parameters of the model-based estimator."""
+
+    report_interval: float = 10.0
+    base_service_time: float = 0.00125
+    """Assumed mean per-operation service time at an idle node (seconds)."""
+
+    utilization_knee: float = 0.95
+    """Utilisation above which the queueing term is clamped (model stability)."""
+
+
+class RttEstimator(ConsistencyEstimator, ClusterListener):
+    """Estimates the window from latencies and utilisation, with no extra load.
+
+    The model treats replication lag as one network hop plus the queueing
+    delay of an M/M/1 server at the observed utilisation:
+    ``window ≈ rtt/2 + service_time * rho / (1 - rho)``.  It needs only
+    metrics every deployment already exports, but it knows nothing about
+    consistency levels, hinted handoff or repair traffic — experiment E2
+    shows where that cheapness costs accuracy.
+    """
+
+    name = "rtt"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cluster: Cluster,
+        config: Optional[RttEstimatorConfig] = None,
+    ) -> None:
+        self._config = config or RttEstimatorConfig()
+        ConsistencyEstimator.__init__(self, simulator, self._config.report_interval)
+        self._cluster = cluster
+        self._write_latencies = WindowedPercentiles(window=512)
+        cluster.add_listener(self)
+
+    def on_operation_completed(self, result: object) -> None:
+        if isinstance(result, WriteResult) and result.success and not result.operation.is_probe:
+            self._write_latencies.observe(result.latency)
+
+    def _build_estimate(self, now: float) -> WindowEstimate:
+        metrics = self._cluster.cluster_metrics()
+        utilization = min(self._config.utilization_knee, metrics["max_utilization"])
+        rtt = self._cluster.network.round_trip_estimate()
+        service = self._config.base_service_time
+        queueing = service * utilization / max(1e-6, 1.0 - utilization)
+        mean_window = rtt / 2.0 + service + queueing
+        # The p95 is approximated as 3x the mean (exponential-ish tail).
+        p95_window = 3.0 * mean_window
+        estimate = WindowEstimate(
+            time=now,
+            source=self.name,
+            mean_window=mean_window,
+            p95_window=p95_window,
+            stale_read_fraction=0.0,
+            samples=self._write_latencies.count,
+        )
+        return estimate

@@ -1,0 +1,232 @@
+"""Metric collection.
+
+The :class:`MetricsCollector` is the controller's (and the experiment
+harness') window into the running system.  It combines two sources:
+
+* **push**: every completed client operation is observed through the cluster
+  listener interface and folded into windowed latency/throughput/error
+  aggregates, and
+* **pull**: node- and cluster-level gauges (utilisation, queue lengths,
+  pending hints, network congestion, node count) are sampled on a fixed
+  interval.
+
+Everything it produces is something a real deployment could export through
+its metrics pipeline; nothing here peeks at simulator ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster.cluster import Cluster, ClusterListener
+from ..cluster.types import OperationType, ReadResult, WriteResult
+from ..simulation.engine import Simulator
+from ..simulation.timeseries import TimeSeries, TimeSeriesBundle
+from .percentiles import WindowedPercentiles
+
+__all__ = ["MetricsConfig", "MetricsSnapshot", "MetricsCollector"]
+
+
+@dataclass
+class MetricsConfig:
+    """Parameters of metric collection."""
+
+    sample_interval: float = 5.0
+    """Seconds between gauge samples (utilisation, node count, ...)."""
+
+    latency_window: int = 4096
+    """Number of recent operations kept for latency percentiles."""
+
+    include_probe_operations: bool = False
+    """Whether monitoring-probe operations count towards client latency."""
+
+
+@dataclass
+class MetricsSnapshot:
+    """One aggregated view over the most recent reporting window."""
+
+    time: float
+    throughput_ops: float
+    read_p95_latency: float
+    read_p99_latency: float
+    write_p95_latency: float
+    write_p99_latency: float
+    failure_fraction: float
+    mean_utilization: float
+    max_utilization: float
+    node_count: int
+    pending_hints: int
+    network_congestion: float
+    stale_read_fraction: float
+    digest_mismatch_fraction: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary used by the knowledge base and the reports."""
+        return {
+            "time": self.time,
+            "throughput_ops": self.throughput_ops,
+            "read_p95_latency": self.read_p95_latency,
+            "read_p99_latency": self.read_p99_latency,
+            "write_p95_latency": self.write_p95_latency,
+            "write_p99_latency": self.write_p99_latency,
+            "failure_fraction": self.failure_fraction,
+            "mean_utilization": self.mean_utilization,
+            "max_utilization": self.max_utilization,
+            "node_count": float(self.node_count),
+            "pending_hints": float(self.pending_hints),
+            "network_congestion": self.network_congestion,
+            "stale_read_fraction": self.stale_read_fraction,
+            "digest_mismatch_fraction": self.digest_mismatch_fraction,
+        }
+
+
+class MetricsCollector(ClusterListener):
+    """Aggregates operation results and system gauges for the controller."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cluster: Cluster,
+        config: Optional[MetricsConfig] = None,
+    ) -> None:
+        self._simulator = simulator
+        self._cluster = cluster
+        self._config = config or MetricsConfig()
+        self.series = TimeSeriesBundle()
+
+        self._read_latencies = WindowedPercentiles(self._config.latency_window)
+        self._write_latencies = WindowedPercentiles(self._config.latency_window)
+
+        # Window counters, reset every snapshot.
+        self._window_start = simulator.now
+        self._window_reads = 0
+        self._window_writes = 0
+        self._window_failures = 0
+        self._window_stale_reads = 0
+        self._window_mismatches = 0
+        self._window_operations = 0
+
+        self._last_snapshot: Optional[MetricsSnapshot] = None
+        self._snapshots: List[MetricsSnapshot] = []
+
+        cluster.add_listener(self)
+        simulator.call_every(
+            self._config.sample_interval,
+            self._sample_gauges,
+            label="metrics:sample",
+            priority=Simulator.PRIORITY_LATE,
+        )
+
+    @property
+    def config(self) -> MetricsConfig:
+        """Metric-collection configuration in effect."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # ClusterListener hooks (push path)
+    # ------------------------------------------------------------------
+    def on_operation_completed(self, result: object) -> None:
+        if isinstance(result, ReadResult):
+            if result.operation.is_probe and not self._config.include_probe_operations:
+                return
+            self._window_operations += 1
+            if not result.success:
+                self._window_failures += 1
+                return
+            self._window_reads += 1
+            self._read_latencies.observe(result.latency)
+            self.series.record("read_latency", self._simulator.now, result.latency)
+            if result.stale:
+                self._window_stale_reads += 1
+            if result.digest_mismatch:
+                self._window_mismatches += 1
+        elif isinstance(result, WriteResult):
+            if result.operation.is_probe and not self._config.include_probe_operations:
+                return
+            self._window_operations += 1
+            if not result.success:
+                self._window_failures += 1
+                return
+            self._window_writes += 1
+            self._write_latencies.observe(result.latency)
+            self.series.record("write_latency", self._simulator.now, result.latency)
+
+    # ------------------------------------------------------------------
+    # Gauge sampling (pull path)
+    # ------------------------------------------------------------------
+    def _sample_gauges(self) -> None:
+        now = self._simulator.now
+        cluster_metrics = self._cluster.cluster_metrics()
+        node_metrics = self._cluster.node_metrics()
+
+        utilizations = [metrics["utilization"] for metrics in node_metrics.values()]
+        mean_util = sum(utilizations) / len(utilizations) if utilizations else 0.0
+        max_util = max(utilizations) if utilizations else 0.0
+
+        elapsed = max(1e-9, now - self._window_start)
+        completed = self._window_reads + self._window_writes
+        throughput = completed / elapsed
+        failure_fraction = (
+            self._window_failures / self._window_operations
+            if self._window_operations
+            else 0.0
+        )
+        stale_fraction = (
+            self._window_stale_reads / self._window_reads if self._window_reads else 0.0
+        )
+        mismatch_fraction = (
+            self._window_mismatches / self._window_reads if self._window_reads else 0.0
+        )
+
+        snapshot = MetricsSnapshot(
+            time=now,
+            throughput_ops=throughput,
+            read_p95_latency=self._read_latencies.percentile(95),
+            read_p99_latency=self._read_latencies.percentile(99),
+            write_p95_latency=self._write_latencies.percentile(95),
+            write_p99_latency=self._write_latencies.percentile(99),
+            failure_fraction=failure_fraction,
+            mean_utilization=mean_util,
+            max_utilization=max_util,
+            node_count=int(cluster_metrics["node_count"]),
+            pending_hints=int(cluster_metrics["pending_hints"]),
+            network_congestion=cluster_metrics["network_congestion"],
+            stale_read_fraction=stale_fraction,
+            digest_mismatch_fraction=mismatch_fraction,
+        )
+        self._last_snapshot = snapshot
+        self._snapshots.append(snapshot)
+
+        for name, value in snapshot.as_dict().items():
+            if name == "time":
+                continue
+            self.series.record(name, now, value)
+
+        # Reset the window counters.
+        self._window_start = now
+        self._window_reads = 0
+        self._window_writes = 0
+        self._window_failures = 0
+        self._window_stale_reads = 0
+        self._window_mismatches = 0
+        self._window_operations = 0
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[MetricsSnapshot]:
+        """The most recent snapshot (or ``None`` before the first sample)."""
+        return self._last_snapshot
+
+    def snapshots(self) -> List[MetricsSnapshot]:
+        """All snapshots collected so far."""
+        return list(self._snapshots)
+
+    def recent(self, count: int) -> List[MetricsSnapshot]:
+        """The ``count`` most recent snapshots."""
+        return self._snapshots[-count:]
+
+    def throughput_series(self) -> TimeSeries:
+        """Throughput over time (ops/second per sampling window)."""
+        return self.series.series("throughput_ops")

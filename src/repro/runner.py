@@ -1,0 +1,310 @@
+"""High-level simulation façade.
+
+:class:`Simulation` wires every subsystem together — the discrete-event
+kernel, the store, the workload, the monitoring stack, the ground-truth
+trackers, the cost models and the autonomous controller — runs the scenario
+and returns a :class:`SimulationReport` with everything the experiments and
+examples report.  It is the single entry point the public API exposes::
+
+    from repro import Simulation, SimulationConfig
+
+    report = Simulation(SimulationConfig(duration=1800.0)).run()
+    print(report.summary_table())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .cluster.cluster import Cluster, ClusterConfig, ClusterListener
+from .cluster.faults import FaultInjector
+from .consistency.staleness import StalenessObserver
+from .consistency.window_tracker import InconsistencyWindowTracker, WindowTrackerConfig
+from .core.controller import AutonomousController, ControllerConfig
+from .core.policies import ScalingPolicy
+from .core.sla import SLA, default_sla
+from .cost.billing import BillingModel, BillingRates
+from .cost.compensation import CompensationModel, CompensationRates
+from .cost.report import CostAccountant, CostReport
+from .monitoring.estimators import (
+    PiggybackMonitor,
+    ProbeConfig,
+    ReadAfterWriteProber,
+    RttEstimator,
+)
+from .monitoring.metrics import MetricsCollector, MetricsConfig
+from .monitoring.overhead import MonitoringOverheadAccountant
+from .simulation.engine import Simulator
+from .simulation.interference import InterferenceConfig, InterferenceController
+from .workload.generator import WorkloadGenerator, WorkloadSpec
+
+__all__ = ["MonitoringOptions", "SimulationConfig", "SimulationReport", "Simulation"]
+
+
+@dataclass
+class MonitoringOptions:
+    """Which monitoring components a scenario deploys."""
+
+    metrics: MetricsConfig = field(default_factory=MetricsConfig)
+    enable_probe: bool = True
+    probe: ProbeConfig = field(default_factory=ProbeConfig)
+    enable_piggyback: bool = True
+    enable_rtt: bool = True
+    report_interval: float = 10.0
+
+
+@dataclass
+class SimulationConfig:
+    """Full description of one simulated scenario."""
+
+    seed: int = 0
+    duration: float = 1800.0
+    """Simulated seconds of workload execution."""
+
+    warmup: float = 60.0
+    """Seconds excluded from nothing but available to callers for slicing."""
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    sla: SLA = field(default_factory=default_sla)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    enable_controller: bool = True
+    monitoring: MonitoringOptions = field(default_factory=MonitoringOptions)
+    interference: InterferenceConfig = field(default_factory=InterferenceConfig)
+    billing_rates: BillingRates = field(default_factory=BillingRates)
+    compensation_rates: CompensationRates = field(default_factory=CompensationRates)
+    window_tracker: WindowTrackerConfig = field(default_factory=WindowTrackerConfig)
+    label: str = "scenario"
+
+
+@dataclass
+class SimulationReport:
+    """Everything one run produced, ready for tables."""
+
+    label: str
+    seed: int
+    duration: float
+    workload_summary: Dict[str, float]
+    sla_summary: Dict[str, float]
+    ground_truth_window: Dict[str, float]
+    staleness: Dict[str, float]
+    cost: CostReport
+    controller_summary: Dict[str, float]
+    final_configuration: Dict[str, object]
+    estimator_estimates: Dict[str, Dict[str, float]]
+    monitoring_overhead: Dict[str, Dict[str, float]]
+    events_processed: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Nested plain-dict view (JSON-serialisable)."""
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "duration": self.duration,
+            "workload": dict(self.workload_summary),
+            "sla": dict(self.sla_summary),
+            "ground_truth_window": dict(self.ground_truth_window),
+            "staleness": dict(self.staleness),
+            "cost": self.cost.as_dict(),
+            "controller": dict(self.controller_summary),
+            "final_configuration": dict(self.final_configuration),
+            "estimators": {k: dict(v) for k, v in self.estimator_estimates.items()},
+            "monitoring_overhead": {
+                k: dict(v) for k, v in self.monitoring_overhead.items()
+            },
+            "events_processed": self.events_processed,
+        }
+
+    def headline(self) -> Dict[str, float]:
+        """The columns most experiment tables report."""
+        return {
+            "read_p95_ms": self.workload_summary.get("read_p95_ms", 0.0),
+            "write_p95_ms": self.workload_summary.get("write_p95_ms", 0.0),
+            "failure_fraction": self.workload_summary.get("failure_fraction", 0.0),
+            "window_p95_s": self.ground_truth_window.get("p95_window", 0.0),
+            "stale_fraction": self.staleness.get("stale_fraction", 0.0),
+            "sla_violation_fraction": self.sla_summary.get("violation_fraction", 0.0),
+            "node_hours": self.cost.node_hours,
+            "total_cost": self.cost.total_cost,
+        }
+
+
+class _CostListener(ClusterListener):
+    """Feeds topology and reconfiguration events into the billing model."""
+
+    def __init__(self, simulator: Simulator, cluster: Cluster, billing: BillingModel) -> None:
+        self._simulator = simulator
+        self._cluster = cluster
+        self._billing = billing
+
+    def _provisioned_count(self) -> int:
+        return len(self._cluster.node_ids())
+
+    def on_topology_changed(self, change: Dict[str, object]) -> None:
+        event = change.get("event")
+        if event in ("node_joining", "node_removed"):
+            self._billing.record_node_count(self._simulator.now, self._provisioned_count())
+        if event in ("node_joining", "node_leaving"):
+            self._billing.record_scaling_action()
+
+    def on_reconfiguration(self, change: Dict[str, object]) -> None:
+        self._billing.record_reconfiguration_action()
+
+
+class _InterferenceListener(ClusterListener):
+    """Attaches interference processes to nodes as they join."""
+
+    def __init__(self, cluster: Cluster, interference: InterferenceController) -> None:
+        self._cluster = cluster
+        self._interference = interference
+
+    def on_topology_changed(self, change: Dict[str, object]) -> None:
+        if change.get("event") != "node_joining":
+            return
+        node_id = str(change.get("node"))
+        node = self._cluster.nodes.get(node_id)
+        if node is not None:
+            self._interference.attach_server(node.server)
+
+
+class Simulation:
+    """Builds, runs and reports one scenario."""
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        policy: Optional[ScalingPolicy] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.simulator = Simulator(seed=self.config.seed)
+        self.cluster = Cluster(self.simulator, self.config.cluster)
+        self.fault_injector = FaultInjector(self.simulator, self.cluster)
+
+        # Ground truth and client-observed consistency tracking.
+        self.window_tracker = InconsistencyWindowTracker(
+            self.simulator, self.config.window_tracker
+        )
+        self.staleness_observer = StalenessObserver(self.simulator)
+        self.cluster.add_listener(self.window_tracker)
+        self.cluster.add_listener(self.staleness_observer)
+
+        # Multi-tenant interference on nodes and network.
+        self.interference = InterferenceController(
+            self.simulator, self.cluster.network, self.config.interference
+        )
+        for node in self.cluster.nodes.values():
+            self.interference.attach_server(node.server)
+        self.cluster.add_listener(_InterferenceListener(self.cluster, self.interference))
+
+        # Monitoring stack.
+        self.metrics = MetricsCollector(
+            self.simulator, self.cluster, self.config.monitoring.metrics
+        )
+        self.overhead = MonitoringOverheadAccountant(self.simulator, self.cluster)
+        self.estimators: Dict[str, object] = {}
+        if self.config.monitoring.enable_probe:
+            prober = ReadAfterWriteProber(
+                self.simulator, self.cluster, self.config.monitoring.probe
+            )
+            self.estimators[prober.name] = prober
+            self.overhead.register(prober)
+        if self.config.monitoring.enable_piggyback:
+            piggyback = PiggybackMonitor(
+                self.simulator,
+                self.cluster,
+                report_interval=self.config.monitoring.report_interval,
+            )
+            self.estimators[piggyback.name] = piggyback
+            self.overhead.register(piggyback)
+        if self.config.monitoring.enable_rtt:
+            rtt = RttEstimator(self.simulator, self.cluster)
+            self.estimators[rtt.name] = rtt
+            self.overhead.register(rtt)
+
+        # Cost accounting.
+        self.cost = CostAccountant(
+            billing=BillingModel(self.config.billing_rates),
+            compensation=CompensationModel(self.config.compensation_rates),
+        )
+        self.cluster.add_listener(self.cost.compensation)
+        self.cluster.add_listener(
+            _CostListener(self.simulator, self.cluster, self.cost.billing)
+        )
+        self.cost.billing.record_node_count(0.0, len(self.cluster.node_ids()))
+
+        # Workload.
+        self.workload = WorkloadGenerator(self.simulator, self.cluster, self.config.workload)
+
+        # Controller (present even for the static baseline so the SLA is
+        # evaluated identically across policies).
+        self.controller = AutonomousController(
+            self.simulator,
+            self.cluster,
+            self.metrics,
+            sla=self.config.sla,
+            config=self.config.controller,
+            policy=policy,
+            estimators={name: est for name, est in self.estimators.items()},
+            offered_rate_fn=self.workload.current_rate,
+            auto_start=self.config.enable_controller,
+        )
+
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        """Run the scenario to completion and build the report."""
+        if self._ran:
+            raise RuntimeError("Simulation.run() may only be called once per instance")
+        self._ran = True
+        self.workload.preload()
+        self.workload.start()
+        self.simulator.run_until(self.config.duration)
+        self.workload.stop()
+        return self.build_report()
+
+    def run_until(self, time: float) -> None:
+        """Advance the scenario to ``time`` (for step-wise examples/tests)."""
+        if not self._ran:
+            self.workload.preload()
+            self.workload.start()
+            self._ran = True
+        self.simulator.run_until(time)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def build_report(self) -> SimulationReport:
+        """Assemble the report for whatever has been simulated so far."""
+        now = self.simulator.now
+        self.cost.billing.record_probe_operations(self.overhead.probe_operations)
+        for overhead_report in self.overhead.reports().values():
+            self.cost.billing.record_analysis_cpu(overhead_report.analysis_cpu_seconds)
+        self.cost.add_sla_penalty(self.controller.sla_evaluator.penalty_cost)
+        cost_report = self.cost.report(end_time=now)
+
+        estimator_estimates: Dict[str, Dict[str, float]] = {}
+        for name, estimator in self.estimators.items():
+            latest = estimator.latest()
+            estimator_estimates[name] = latest.as_dict() if latest else {}
+
+        return SimulationReport(
+            label=self.config.label,
+            seed=self.config.seed,
+            duration=now,
+            workload_summary=self.workload.stats.summary(),
+            sla_summary=self.controller.sla_evaluator.summary(),
+            ground_truth_window=self.window_tracker.stats(),
+            staleness=self.staleness_observer.snapshot().as_dict(),
+            cost=cost_report,
+            controller_summary=self.controller.summary(),
+            final_configuration=self.cluster.configuration_snapshot(),
+            estimator_estimates=estimator_estimates,
+            monitoring_overhead={
+                name: report.as_dict() for name, report in self.overhead.reports().items()
+            },
+            events_processed=self.simulator.events_processed,
+        )

@@ -1,0 +1,294 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the virtual clock, the event queue and the random
+streams.  Components (cluster nodes, workload clients, monitors, the
+autonomous controller) never sleep or spin; they schedule callbacks on the
+engine and react when those callbacks fire.  The engine is single threaded
+and deterministic for a fixed seed, which keeps every experiment in this
+repository exactly reproducible.
+
+Typical usage::
+
+    sim = Simulator(seed=42)
+    sim.schedule(1.0, lambda: print("one second in"))
+    sim.call_every(10.0, tick)           # periodic bookkeeping
+    sim.run_until(3600.0)                # one simulated hour
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from .errors import SchedulingError, SimulationStateError
+from .events import PRIORITY_CONTROL, PRIORITY_LATE, PRIORITY_NORMAL, EventHandle, EventQueue
+from .randomness import RandomStreams
+
+__all__ = ["Simulator", "PeriodicTask"]
+
+
+class PeriodicTask:
+    """A recurring callback managed by :meth:`Simulator.call_every`.
+
+    The task reschedules itself after each invocation until :meth:`stop` is
+    called or the callback returns ``False`` (an explicit opt-out used by
+    finite monitors).
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        priority: int,
+        label: Optional[str],
+        jitter: float = 0.0,
+    ) -> None:
+        if interval <= 0.0:
+            raise SchedulingError(f"periodic interval must be > 0, got {interval}")
+        self._simulator = simulator
+        self._interval = float(interval)
+        self._callback = callback
+        self._args = args
+        self._priority = priority
+        self._label = label
+        self._jitter = max(0.0, float(jitter))
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        self._invocations = 0
+
+    @property
+    def interval(self) -> float:
+        """Current rescheduling interval in simulated seconds."""
+        return self._interval
+
+    @property
+    def invocations(self) -> int:
+        """Number of times the callback has fired."""
+        return self._invocations
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the task has been stopped."""
+        return self._stopped
+
+    def set_interval(self, interval: float) -> None:
+        """Change the interval used for subsequent reschedules."""
+        if interval <= 0.0:
+            raise SchedulingError(f"periodic interval must be > 0, got {interval}")
+        self._interval = float(interval)
+
+    def stop(self) -> None:
+        """Stop the task; the pending occurrence (if any) is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Schedule the first occurrence ``first_delay`` seconds from now."""
+        delay = self._interval if first_delay is None else float(first_delay)
+        self._schedule(delay)
+
+    def _schedule(self, delay: float) -> None:
+        if self._stopped:
+            return
+        if self._jitter > 0.0:
+            rng = self._simulator.streams.stream("periodic-jitter")
+            delay = max(0.0, delay + float(rng.uniform(-self._jitter, self._jitter)))
+        self._handle = self._simulator.schedule_in(
+            delay, self._fire, priority=self._priority, label=self._label
+        )
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._invocations += 1
+        result = self._callback(*self._args)
+        if result is False:
+            self._stopped = True
+            return
+        self._schedule(self._interval)
+
+
+class Simulator:
+    """Deterministic, single-threaded discrete-event simulator."""
+
+    #: Re-exported priorities so components do not import ``events`` directly.
+    PRIORITY_CONTROL = PRIORITY_CONTROL
+    PRIORITY_NORMAL = PRIORITY_NORMAL
+    PRIORITY_LATE = PRIORITY_LATE
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._start_time = float(start_time)
+        self._queue = EventQueue()
+        self._streams = RandomStreams(seed)
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+        self._trace_hooks: list[Callable[[float, Optional[str]], None]] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def start_time(self) -> float:
+        """Time the simulation started at (usually ``0.0``)."""
+        return self._start_time
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds elapsed since the start."""
+        return self._now - self._start_time
+
+    @property
+    def streams(self) -> RandomStreams:
+        """Named deterministic random streams shared by all components."""
+        return self._streams
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently waiting in the queue."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        label: Optional[str] = None,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if self._stopped:
+            raise SimulationStateError("cannot schedule events on a stopped simulator")
+        if math.isnan(time) or math.isinf(time):
+            raise SchedulingError(f"event time must be finite, got {time}")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at {time:.6f}, current time is {self._now:.6f}"
+            )
+        return self._queue.push(time, callback, args, priority=priority, label=label)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        label: Optional[str] = None,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SchedulingError(f"delay must be >= 0, got {delay}")
+        return self.schedule(
+            self._now + delay, callback, *args, priority=priority, label=label
+        )
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        first_delay: Optional[float] = None,
+        priority: int = PRIORITY_NORMAL,
+        label: Optional[str] = None,
+        jitter: float = 0.0,
+    ) -> PeriodicTask:
+        """Run ``callback(*args)`` every ``interval`` simulated seconds.
+
+        Returns the :class:`PeriodicTask`, which the caller can stop or
+        re-pace (e.g. a monitor adapting its probe rate).
+        """
+        task = PeriodicTask(self, interval, callback, args, priority, label, jitter)
+        task.start(first_delay)
+        return task
+
+    def add_trace_hook(self, hook: Callable[[float, Optional[str]], None]) -> None:
+        """Register a hook called with ``(time, label)`` for every event fired."""
+        self._trace_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            # Defensive: the queue is ordered, so this indicates a kernel bug.
+            raise SimulationStateError(
+                f"event queue returned an event in the past ({event.time} < {self._now})"
+            )
+        self._now = event.time
+        self._events_processed += 1
+        for hook in self._trace_hooks:
+            hook(self._now, event.label)
+        event.callback(*event.args)
+        return True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events until the clock reaches ``end_time``.
+
+        The clock is advanced to exactly ``end_time`` when the queue drains or
+        only holds later events, so back-to-back ``run_until`` calls compose.
+        Returns the number of events executed by this call.
+        """
+        if end_time < self._now:
+            raise SchedulingError(
+                f"cannot run to {end_time:.6f}, current time is {self._now:.6f}"
+            )
+        if self._running:
+            raise SimulationStateError("run_until is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        self._now = max(self._now, end_time)
+        return executed
+
+    def run_until_empty(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        if self._running:
+            raise SimulationStateError("run_until_empty is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while executed < max_events and self.step():
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def stop(self) -> None:
+        """Permanently stop the simulator and drop pending events."""
+        self._stopped = True
+        self._queue.clear()
+
+    def queue_stats(self) -> dict[str, Any]:
+        """Event-queue counters (scheduled / fired / pending)."""
+        return self._queue.stats

@@ -1,0 +1,170 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is callback based: an :class:`Event` bundles a firing time, a
+priority, a callback and its arguments.  Events are totally ordered by
+``(time, priority, sequence)`` where the sequence number is a monotonically
+increasing tiebreaker assigned by the :class:`EventQueue`.  This makes the
+execution order deterministic for a fixed seed, which in turn makes every
+experiment in this repository reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue", "EventHandle"]
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for control-plane events (fire before data-plane events at the
+#: same timestamp, e.g. a topology change should be visible to requests
+#: issued at the same instant).
+PRIORITY_CONTROL = -10
+#: Priority for bookkeeping events that must observe everything else that
+#: happened at the same timestamp (metric flushes, report sampling).
+PRIORITY_LATE = 10
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds) at which the callback fires.
+    priority:
+        Secondary ordering key; lower fires first at equal ``time``.
+    sequence:
+        Tiebreaker assigned by the queue; guarantees FIFO order for events
+        scheduled at identical ``(time, priority)``.
+    callback:
+        Callable invoked as ``callback(*args)`` when the event fires.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    label: Optional[str] = field(compare=False, default=None)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventHandle:
+    """Opaque handle returned by ``schedule``; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time of the underlying event."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the underlying event has been cancelled."""
+        return self._event.cancelled
+
+    @property
+    def label(self) -> Optional[str]:
+        """Optional human-readable label attached at scheduling time."""
+        return self._event.label
+
+    def cancel(self) -> None:
+        """Cancel the underlying event (no-op if it already fired)."""
+        self._event.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(time={self.time:.6f}, {state}, label={self.label!r})"
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects.
+
+    A thin wrapper around :mod:`heapq` that assigns sequence numbers, skips
+    cancelled events on pop and tracks basic statistics used by the kernel's
+    introspection helpers.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._scheduled = 0
+        self._fired = 0
+        self._cancelled_skipped = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+        label: Optional[str] = None,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at ``time`` and return its handle."""
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            args=args,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._scheduled += 1
+        return EventHandle(event)
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or ``None``."""
+        self._discard_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next live (non-cancelled) event, or ``None`` if empty."""
+        self._discard_cancelled_head()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._fired += 1
+        return event
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+
+    def _discard_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled_skipped += 1
+
+    @property
+    def stats(self) -> dict[str, Any]:
+        """Counters describing queue activity (for debugging and tests)."""
+        return {
+            "scheduled": self._scheduled,
+            "fired": self._fired,
+            "cancelled_skipped": self._cancelled_skipped,
+            "pending": len(self._heap),
+        }

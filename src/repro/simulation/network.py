@@ -1,0 +1,177 @@
+"""Network model: message latency between nodes and clients.
+
+The paper repeatedly stresses that network conditions (congestion, shared
+cloud infrastructure) influence both performance and the inconsistency
+window, and that the controller must not pick actions that aggravate a
+network bottleneck (RQ3's "adding a replica under congestion only causes
+more traffic").  The :class:`NetworkModel` therefore exposes:
+
+* a base one-way latency with lognormal jitter,
+* a global congestion factor that grows with the current message rate
+  relative to the configured capacity, and
+* partition injection between groups of nodes (used by the fault-injection
+  tests and the availability experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional, Set, Tuple
+
+from .engine import Simulator
+from .randomness import lognormal_from_mean_cv
+
+__all__ = ["NetworkConfig", "NetworkModel"]
+
+
+@dataclass
+class NetworkConfig:
+    """Parameters of the cluster interconnect and client access network."""
+
+    base_latency: float = 0.0005
+    """Mean one-way latency between nodes in seconds (0.5 ms LAN default)."""
+
+    client_latency: float = 0.002
+    """Mean one-way latency between clients and coordinators (2 ms default)."""
+
+    jitter_cv: float = 0.35
+    """Coefficient of variation of the lognormal jitter on every message."""
+
+    capacity_msgs_per_sec: float = 50_000.0
+    """Aggregate message rate above which congestion kicks in."""
+
+    congestion_exponent: float = 2.0
+    """How sharply latency grows once the capacity is exceeded."""
+
+    max_congestion_factor: float = 20.0
+    """Upper bound on the congestion multiplier (keeps the model stable)."""
+
+    congestion_window: float = 1.0
+    """Length in seconds of the window over which the message rate is measured."""
+
+
+class NetworkModel:
+    """Latency oracle and message-delivery helper for the whole cluster."""
+
+    def __init__(self, simulator: Simulator, config: Optional[NetworkConfig] = None) -> None:
+        self._simulator = simulator
+        self._config = config or NetworkConfig()
+        self._rng = simulator.streams.stream("network")
+        self._partitioned_pairs: Set[FrozenSet[str]] = set()
+        self._partitioned_nodes: Set[str] = set()
+        self._window_start = simulator.now
+        self._window_messages = 0
+        self._congestion_factor = 1.0
+        self._messages_sent = 0
+        self._messages_dropped = 0
+        self._external_load_factor = 1.0
+
+    @property
+    def config(self) -> NetworkConfig:
+        """Network configuration in effect."""
+        return self._config
+
+    @property
+    def congestion_factor(self) -> float:
+        """Current latency multiplier due to congestion (>= 1)."""
+        return self._congestion_factor
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages delivered (or attempted) so far."""
+        return self._messages_sent
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages dropped because of partitions."""
+        return self._messages_dropped
+
+    def set_external_load_factor(self, factor: float) -> None:
+        """Scale congestion as if other tenants used the same network.
+
+        A factor of ``1.5`` means background traffic contributes 50% of the
+        measured message rate on top of the cluster's own traffic.
+        """
+        self._external_load_factor = max(1.0, float(factor))
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, group_a: Set[str], group_b: Set[str]) -> None:
+        """Install a partition: messages between the two groups are dropped."""
+        for a in group_a:
+            for b in group_b:
+                if a != b:
+                    self._partitioned_pairs.add(frozenset((a, b)))
+        self._partitioned_nodes |= set(group_a) | set(group_b)
+
+    def heal_partition(self) -> None:
+        """Remove all partitions."""
+        self._partitioned_pairs.clear()
+        self._partitioned_nodes.clear()
+
+    def is_partitioned(self, source: str, destination: str) -> bool:
+        """Whether messages from ``source`` to ``destination`` are dropped."""
+        if not self._partitioned_pairs:
+            return False
+        return frozenset((source, destination)) in self._partitioned_pairs
+
+    @property
+    def has_partition(self) -> bool:
+        """Whether any partition is currently installed."""
+        return bool(self._partitioned_pairs)
+
+    # ------------------------------------------------------------------
+    # Latency and delivery
+    # ------------------------------------------------------------------
+    def _update_congestion(self) -> None:
+        now = self._simulator.now
+        window = self._config.congestion_window
+        if now - self._window_start >= window:
+            rate = self._window_messages / max(now - self._window_start, 1e-9)
+            rate *= self._external_load_factor
+            overload = rate / self._config.capacity_msgs_per_sec
+            if overload <= 1.0:
+                self._congestion_factor = 1.0
+            else:
+                factor = overload ** self._config.congestion_exponent
+                self._congestion_factor = min(factor, self._config.max_congestion_factor)
+            self._window_start = now
+            self._window_messages = 0
+
+    def sample_latency(self, client_facing: bool = False) -> float:
+        """Draw a one-way latency sample, including congestion effects."""
+        base = self._config.client_latency if client_facing else self._config.base_latency
+        mean = base * self._congestion_factor
+        return lognormal_from_mean_cv(self._rng, mean, self._config.jitter_cv)
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        deliver: Callable[[], None],
+        client_facing: bool = False,
+        on_drop: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Deliver ``deliver()`` at the destination after a latency delay.
+
+        Returns ``True`` if the message was scheduled for delivery, ``False``
+        if it was dropped because of a partition (``on_drop`` is then invoked
+        immediately, if provided).
+        """
+        self._messages_sent += 1
+        self._window_messages += 1
+        self._update_congestion()
+        if self.is_partitioned(source, destination):
+            self._messages_dropped += 1
+            if on_drop is not None:
+                on_drop()
+            return False
+        latency = self.sample_latency(client_facing=client_facing)
+        self._simulator.schedule_in(latency, deliver, label=f"net:{source}->{destination}")
+        return True
+
+    def round_trip_estimate(self, client_facing: bool = False) -> float:
+        """Expected round-trip time under current congestion (no jitter)."""
+        base = self._config.client_latency if client_facing else self._config.base_latency
+        return 2.0 * base * self._congestion_factor

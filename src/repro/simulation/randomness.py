@@ -1,0 +1,104 @@
+"""Deterministic random-number streams for the simulator.
+
+Every stochastic component of the system (workload arrivals, network latency,
+service times, interference, monitoring probes, ...) draws from its own named
+stream.  Streams are derived from a single root seed with
+:class:`numpy.random.SeedSequence`, so
+
+* the whole simulation is reproducible from one integer seed, and
+* adding draws to one component does not perturb the sequence seen by any
+  other component (no cross-contamination between streams).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """Factory and registry of named, independent random generators."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._root = np.random.SeedSequence(self._seed)
+        self._generators: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """Root seed from which all streams are derived."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The generator for a given ``(seed, name)`` pair is always the same,
+        regardless of creation order, because the child seed is derived from
+        a stable hash of the stream name rather than from a creation counter.
+        """
+        generator = self._generators.get(name)
+        if generator is None:
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy,
+                spawn_key=(_stable_hash(name),),
+            )
+            generator = np.random.default_rng(child)
+            self._generators[name] = generator
+        return generator
+
+    def streams(self, names: Iterable[str]) -> Dict[str, np.random.Generator]:
+        """Materialise several streams at once (convenience for components)."""
+        return {name: self.stream(name) for name in names}
+
+    def spawn(self, name: str, index: int) -> np.random.Generator:
+        """Return a generator for the ``index``-th member of a family.
+
+        Useful for per-node or per-client streams: ``spawn("node", 3)`` is
+        stable under changes to how many nodes exist.
+        """
+        return self.stream(f"{name}[{index}]")
+
+    def reset(self) -> None:
+        """Forget all generators; subsequent calls recreate them fresh."""
+        self._generators.clear()
+
+    def known_streams(self) -> tuple[str, ...]:
+        """Names of streams created so far (mainly for tests)."""
+        return tuple(sorted(self._generators))
+
+
+def _stable_hash(name: str) -> int:
+    """A deterministic 63-bit hash of ``name`` (Python's ``hash`` is salted)."""
+    value = 1469598103934665603  # FNV-1a offset basis
+    for byte in name.encode("utf-8"):
+        value ^= byte
+        value = (value * 1099511628211) & 0x7FFFFFFFFFFFFFFF
+    return value
+
+
+def exponential(rng: np.random.Generator, mean: float) -> float:
+    """Draw an exponential variate with the given mean (0 mean -> 0)."""
+    if mean <= 0.0:
+        return 0.0
+    return float(rng.exponential(mean))
+
+
+def lognormal_from_mean_cv(
+    rng: np.random.Generator, mean: float, cv: float
+) -> float:
+    """Draw a lognormal variate parameterised by mean and coefficient of variation.
+
+    Latency distributions in distributed stores are heavy tailed; a lognormal
+    with a configurable coefficient of variation (``cv = std / mean``) is the
+    standard lightweight stand-in.  ``cv == 0`` degenerates to the mean.
+    """
+    if mean <= 0.0:
+        return 0.0
+    if cv <= 0.0:
+        return float(mean)
+    sigma2 = np.log(1.0 + cv * cv)
+    mu = np.log(mean) - sigma2 / 2.0
+    return float(rng.lognormal(mean=mu, sigma=np.sqrt(sigma2)))

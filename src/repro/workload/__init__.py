@@ -1,0 +1,50 @@
+"""YCSB-style workload generation for the simulated store."""
+
+from .distributions import (
+    HotspotKeys,
+    KeyDistribution,
+    LatestKeys,
+    UniformKeys,
+    ZipfianKeys,
+    make_distribution,
+)
+from .generator import WorkloadGenerator, WorkloadSpec, WorkloadStats
+from .load_shapes import (
+    CompositeLoad,
+    ConstantLoad,
+    DiurnalLoad,
+    FlashCrowdLoad,
+    LoadShape,
+    NoisyLoad,
+    RampLoad,
+    StepLoad,
+    TraceLoad,
+)
+from .operations import BALANCED, READ_HEAVY, READ_ONLY, WRITE_HEAVY, OperationMix, RecordSizer
+
+__all__ = [
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfianKeys",
+    "LatestKeys",
+    "HotspotKeys",
+    "make_distribution",
+    "LoadShape",
+    "ConstantLoad",
+    "DiurnalLoad",
+    "FlashCrowdLoad",
+    "StepLoad",
+    "RampLoad",
+    "CompositeLoad",
+    "NoisyLoad",
+    "TraceLoad",
+    "OperationMix",
+    "RecordSizer",
+    "READ_HEAVY",
+    "BALANCED",
+    "WRITE_HEAVY",
+    "READ_ONLY",
+    "WorkloadSpec",
+    "WorkloadStats",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,201 @@
+"""Key-popularity distributions (YCSB style).
+
+The workload generator needs to decide *which* key each operation touches.
+The distributions here mirror the ones YCSB ships, because those are the
+request patterns the paper's motivating applications (large interactive web
+applications, e-commerce catalogues) exhibit:
+
+* ``UniformKeys`` — every record equally likely; the base case.
+* ``ZipfianKeys`` — a heavy-tailed popularity skew (Gray et al.'s generator,
+  the same construction YCSB uses), with an optional scrambling step so the
+  hot keys are spread over the key space instead of clustered.
+* ``LatestKeys`` — recency skew: recently inserted records are the popular
+  ones (news feeds, timelines).
+* ``HotspotKeys`` — a small hot set receives a fixed fraction of the traffic.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfianKeys",
+    "LatestKeys",
+    "HotspotKeys",
+    "make_distribution",
+]
+
+
+class KeyDistribution(abc.ABC):
+    """Chooses record indexes in ``[0, record_count)``."""
+
+    def __init__(self, record_count: int) -> None:
+        if record_count < 1:
+            raise ValueError(f"record_count must be >= 1, got {record_count}")
+        self._record_count = record_count
+
+    @property
+    def record_count(self) -> int:
+        """Number of records in the key space."""
+        return self._record_count
+
+    @abc.abstractmethod
+    def next_index(self, rng: np.random.Generator) -> int:
+        """Draw the index of the record the next operation should touch."""
+
+    def grow(self, new_record_count: int) -> None:
+        """Extend the key space (called when the workload inserts new records)."""
+        if new_record_count > self._record_count:
+            self._record_count = new_record_count
+
+    def key_for(self, index: int, prefix: str = "user") -> str:
+        """Render a record index as the store key the cluster sees."""
+        return f"{prefix}{index}"
+
+
+class UniformKeys(KeyDistribution):
+    """Every record is equally popular."""
+
+    def next_index(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self._record_count))
+
+
+class ZipfianKeys(KeyDistribution):
+    """Zipfian popularity with YCSB's scrambling.
+
+    Implements the bounded Zipfian generator of Gray et al. ("Quickly
+    generating billion-record synthetic databases"): item ranks follow a
+    Zipf law with exponent ``theta`` and the rank-to-record mapping is
+    scrambled with a hash so that adjacent records are not correlated in
+    popularity.
+    """
+
+    def __init__(
+        self,
+        record_count: int,
+        theta: float = 0.99,
+        scrambled: bool = True,
+    ) -> None:
+        super().__init__(record_count)
+        if not 0.0 < theta < 1.0:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        self._theta = theta
+        self._scrambled = scrambled
+        self._recompute_constants()
+
+    @property
+    def theta(self) -> float:
+        """Skew parameter (0.99 is the YCSB default)."""
+        return self._theta
+
+    def _zeta(self, n: int) -> float:
+        return float(sum(1.0 / (i ** self._theta) for i in range(1, n + 1)))
+
+    def _recompute_constants(self) -> None:
+        n = self._record_count
+        self._zetan = self._zeta(n)
+        self._zeta2 = self._zeta(min(2, n))
+        self._alpha = 1.0 / (1.0 - self._theta)
+        denominator = 1.0 - self._zeta2 / self._zetan
+        if abs(denominator) < 1e-12:
+            # Degenerate key spaces (n <= 2): the closed-form constant blows
+            # up; fall back to a neutral eta, which keeps draws in range.
+            self._eta = 1.0
+        else:
+            self._eta = (1.0 - (2.0 / n) ** (1.0 - self._theta)) / denominator
+
+    def grow(self, new_record_count: int) -> None:
+        if new_record_count > self._record_count:
+            super().grow(new_record_count)
+            self._recompute_constants()
+
+    def _next_rank(self, rng: np.random.Generator) -> int:
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self._theta:
+            return 1
+        rank = int(self._record_count * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(rank, self._record_count - 1)
+
+    def next_index(self, rng: np.random.Generator) -> int:
+        rank = self._next_rank(rng)
+        if not self._scrambled:
+            return rank
+        # FNV-style scramble so popularity is spread across the key space.
+        value = (rank * 0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03) & 0xFFFFFFFFFFFFFFFF
+        value ^= value >> 31
+        return int(value % self._record_count)
+
+
+class LatestKeys(ZipfianKeys):
+    """Recency-skewed popularity: the newest records are the hottest."""
+
+    def __init__(self, record_count: int, theta: float = 0.99) -> None:
+        super().__init__(record_count, theta=theta, scrambled=False)
+
+    def next_index(self, rng: np.random.Generator) -> int:
+        rank = self._next_rank(rng)
+        return max(0, self._record_count - 1 - rank)
+
+
+class HotspotKeys(KeyDistribution):
+    """A hot set of records receives a fixed fraction of operations."""
+
+    def __init__(
+        self,
+        record_count: int,
+        hot_fraction: float = 0.2,
+        hot_operation_fraction: float = 0.8,
+    ) -> None:
+        super().__init__(record_count)
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= hot_operation_fraction <= 1.0:
+            raise ValueError("hot_operation_fraction must be in [0, 1]")
+        self._hot_fraction = hot_fraction
+        self._hot_operation_fraction = hot_operation_fraction
+
+    @property
+    def hot_set_size(self) -> int:
+        """Number of records in the hot set (at least one)."""
+        return max(1, int(self._record_count * self._hot_fraction))
+
+    def next_index(self, rng: np.random.Generator) -> int:
+        if rng.random() < self._hot_operation_fraction:
+            return int(rng.integers(0, self.hot_set_size))
+        if self.hot_set_size >= self._record_count:
+            return int(rng.integers(0, self._record_count))
+        return int(rng.integers(self.hot_set_size, self._record_count))
+
+
+def make_distribution(
+    name: str,
+    record_count: int,
+    zipf_theta: float = 0.99,
+    hot_fraction: float = 0.2,
+    hot_operation_fraction: float = 0.8,
+) -> KeyDistribution:
+    """Factory used by workload specs serialised as plain strings."""
+    lowered = name.lower()
+    if lowered == "uniform":
+        return UniformKeys(record_count)
+    if lowered == "zipfian":
+        return ZipfianKeys(record_count, theta=zipf_theta)
+    if lowered == "latest":
+        return LatestKeys(record_count, theta=zipf_theta)
+    if lowered == "hotspot":
+        return HotspotKeys(
+            record_count,
+            hot_fraction=hot_fraction,
+            hot_operation_fraction=hot_operation_fraction,
+        )
+    raise ValueError(f"unknown key distribution {name!r}")

@@ -1,0 +1,263 @@
+"""Workload specification and open-loop generator.
+
+The generator drives the cluster with an open-loop (arrival-rate controlled)
+stream of operations, the standard way to evaluate storage systems: arrivals
+follow a non-homogeneous Poisson process whose intensity is given by the
+spec's :class:`~repro.workload.load_shapes.LoadShape`, keys are drawn from
+the spec's key distribution, and the read/update/insert decision follows the
+spec's operation mix.  Results are recorded per operation so the harness can
+report client-observed latency, throughput and error rates alongside the
+consistency metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.types import OperationType, ReadResult, WriteResult
+from ..simulation.engine import Simulator
+from ..simulation.timeseries import TimeSeries
+from .distributions import KeyDistribution, make_distribution
+from .load_shapes import ConstantLoad, LoadShape
+from .operations import OperationMix, READ_HEAVY, RecordSizer
+
+__all__ = ["WorkloadSpec", "WorkloadStats", "WorkloadGenerator"]
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything needed to reproduce one workload."""
+
+    record_count: int = 10_000
+    key_distribution: str = "zipfian"
+    zipf_theta: float = 0.99
+    hot_fraction: float = 0.2
+    hot_operation_fraction: float = 0.8
+    operation_mix: OperationMix = field(default_factory=lambda: READ_HEAVY)
+    load_shape: LoadShape = field(default_factory=lambda: ConstantLoad(100.0))
+    mean_record_size: int = 1024
+    record_size_cv: float = 0.5
+    key_prefix: str = "user"
+    preload: bool = True
+    preload_fraction: float = 1.0
+    """Fraction of the key space inserted before the run starts."""
+
+    min_rate: float = 0.1
+    """Floor on the arrival rate used when the shape returns ~0 ops/s."""
+
+    def build_distribution(self) -> KeyDistribution:
+        """Instantiate the configured key distribution."""
+        return make_distribution(
+            self.key_distribution,
+            self.record_count,
+            zipf_theta=self.zipf_theta,
+            hot_fraction=self.hot_fraction,
+            hot_operation_fraction=self.hot_operation_fraction,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Flat description for experiment tables."""
+        return {
+            "record_count": self.record_count,
+            "key_distribution": self.key_distribution,
+            "read_fraction": self.operation_mix.read_fraction,
+            "update_fraction": self.operation_mix.update_fraction,
+            "insert_fraction": self.operation_mix.insert_fraction,
+            "mean_record_size": self.mean_record_size,
+        }
+
+
+class WorkloadStats:
+    """Per-operation accounting of what clients observed."""
+
+    def __init__(self) -> None:
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.reads_completed = 0
+        self.writes_completed = 0
+        self.reads_failed = 0
+        self.writes_failed = 0
+        self.read_latencies: List[float] = []
+        self.write_latencies: List[float] = []
+        self.stale_reads = 0
+        self.read_latency_series = TimeSeries("read_latency")
+        self.write_latency_series = TimeSeries("write_latency")
+        self.offered_rate_series = TimeSeries("offered_rate")
+
+    def record_read(self, result: ReadResult) -> None:
+        """Record one completed read."""
+        if result.success:
+            self.reads_completed += 1
+            self.read_latencies.append(result.latency)
+            self.read_latency_series.record(result.completed_at, result.latency)
+            if result.stale:
+                self.stale_reads += 1
+        else:
+            self.reads_failed += 1
+
+    def record_write(self, result: WriteResult) -> None:
+        """Record one completed write."""
+        if result.success:
+            self.writes_completed += 1
+            self.write_latencies.append(result.latency)
+            self.write_latency_series.record(result.completed_at, result.latency)
+        else:
+            self.writes_failed += 1
+
+    @property
+    def operations_issued(self) -> int:
+        """Total operations issued (reads + writes)."""
+        return self.reads_issued + self.writes_issued
+
+    @property
+    def operations_completed(self) -> int:
+        """Total operations that completed successfully."""
+        return self.reads_completed + self.writes_completed
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of issued operations that failed (timeout/unavailable)."""
+        issued = self.operations_issued
+        if issued == 0:
+            return 0.0
+        return (self.reads_failed + self.writes_failed) / issued
+
+    def latency_percentile(self, q: float, kind: str = "read") -> float:
+        """Latency percentile in seconds for ``kind`` in {"read", "write", "all"}."""
+        if kind == "read":
+            values = self.read_latencies
+        elif kind == "write":
+            values = self.write_latencies
+        elif kind == "all":
+            values = self.read_latencies + self.write_latencies
+        else:
+            raise ValueError(f"unknown latency kind {kind!r}")
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values, dtype=float), q))
+
+    def summary(self) -> Dict[str, float]:
+        """Headline figures for experiment tables."""
+        return {
+            "operations_issued": float(self.operations_issued),
+            "operations_completed": float(self.operations_completed),
+            "failure_fraction": self.failure_fraction,
+            "stale_reads": float(self.stale_reads),
+            "read_p50_ms": self.latency_percentile(50, "read") * 1000.0,
+            "read_p95_ms": self.latency_percentile(95, "read") * 1000.0,
+            "read_p99_ms": self.latency_percentile(99, "read") * 1000.0,
+            "write_p50_ms": self.latency_percentile(50, "write") * 1000.0,
+            "write_p95_ms": self.latency_percentile(95, "write") * 1000.0,
+            "write_p99_ms": self.latency_percentile(99, "write") * 1000.0,
+        }
+
+
+class WorkloadGenerator:
+    """Open-loop Poisson workload driver for one cluster."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cluster: Cluster,
+        spec: Optional[WorkloadSpec] = None,
+        name: str = "workload",
+    ) -> None:
+        self._simulator = simulator
+        self._cluster = cluster
+        self.spec = spec or WorkloadSpec()
+        self.name = name
+        self._rng = simulator.streams.stream(f"workload:{name}")
+        self._distribution = self.spec.build_distribution()
+        self._sizer = RecordSizer(self.spec.mean_record_size, self.spec.record_size_cv)
+        self._mix = self.spec.operation_mix
+        self._running = False
+        self._next_record_index = self.spec.record_count
+        self.stats = WorkloadStats()
+        self._rate_sample_accumulator = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def preload(self) -> int:
+        """Insert the initial data set directly into the cluster."""
+        if not self.spec.preload:
+            return 0
+        count = int(self.spec.record_count * self.spec.preload_fraction)
+        items: Dict[str, bytes] = {}
+        sizes: Dict[str, int] = {}
+        for index in range(count):
+            key = self._distribution.key_for(index, self.spec.key_prefix)
+            size = self._sizer.next_size(self._rng)
+            items[key] = b"\x00" * min(size, 64)
+            sizes[key] = size
+        return self._cluster.preload(items, sizes)
+
+    def start(self) -> None:
+        """Begin issuing operations according to the load shape."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next_arrival()
+        self._simulator.call_every(
+            10.0,
+            self._sample_offered_rate,
+            label=f"{self.name}:rate-sample",
+            priority=Simulator.PRIORITY_LATE,
+        )
+
+    def stop(self) -> None:
+        """Stop issuing new operations (in-flight ones still complete)."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Arrival process
+    # ------------------------------------------------------------------
+    def current_rate(self) -> float:
+        """The target arrival rate right now (ops/second)."""
+        return max(self.spec.min_rate, self.spec.load_shape.rate(self._simulator.now))
+
+    def _schedule_next_arrival(self) -> None:
+        if not self._running:
+            return
+        rate = self.current_rate()
+        gap = float(self._rng.exponential(1.0 / rate))
+        self._simulator.schedule_in(gap, self._arrival, label=f"{self.name}:arrival")
+
+    def _arrival(self) -> None:
+        if not self._running:
+            return
+        self._issue_one()
+        self._schedule_next_arrival()
+
+    def _issue_one(self) -> None:
+        kind = self._mix.choose(self._rng)
+        if kind == "read":
+            index = self._distribution.next_index(self._rng)
+            key = self._distribution.key_for(index, self.spec.key_prefix)
+            self.stats.reads_issued += 1
+            self._cluster.read(key, on_complete=self.stats.record_read)
+            return
+        if kind == "insert":
+            index = self._next_record_index
+            self._next_record_index += 1
+            self._distribution.grow(self._next_record_index)
+        else:
+            index = self._distribution.next_index(self._rng)
+        key = self._distribution.key_for(index, self.spec.key_prefix)
+        size = self._sizer.next_size(self._rng)
+        self.stats.writes_issued += 1
+        self._cluster.write(
+            key,
+            value=b"\x00" * min(size, 64),
+            size=size,
+            on_complete=self.stats.record_write,
+        )
+
+    def _sample_offered_rate(self) -> None:
+        self.stats.offered_rate_series.record(
+            self._simulator.now, self.current_rate()
+        )

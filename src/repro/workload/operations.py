@@ -1,0 +1,106 @@
+"""Operation mixes and record sizing.
+
+An :class:`OperationMix` describes the read/update/insert composition of a
+workload (the axis YCSB's core workloads A–D vary), and :class:`RecordSizer`
+draws per-record payload sizes.  Both are deliberately small, deterministic
+classes so that specs can be compared and serialised in experiment tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["OperationMix", "RecordSizer", "READ_HEAVY", "BALANCED", "WRITE_HEAVY", "READ_ONLY"]
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Fractions of reads, updates and inserts (must sum to 1)."""
+
+    read_fraction: float = 0.95
+    update_fraction: float = 0.05
+    insert_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.read_fraction + self.update_fraction + self.insert_fraction
+        if any(
+            fraction < 0.0
+            for fraction in (self.read_fraction, self.update_fraction, self.insert_fraction)
+        ):
+            raise ValueError("operation fractions must be >= 0")
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation fractions must sum to 1, got {total}")
+
+    @property
+    def write_fraction(self) -> float:
+        """Combined fraction of operations that write (updates + inserts)."""
+        return self.update_fraction + self.insert_fraction
+
+    def choose(self, rng: np.random.Generator) -> str:
+        """Draw ``"read"``, ``"update"`` or ``"insert"`` according to the mix."""
+        draw = rng.random()
+        if draw < self.read_fraction:
+            return "read"
+        if draw < self.read_fraction + self.update_fraction:
+            return "update"
+        return "insert"
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for experiment tables."""
+        return {
+            "read_fraction": self.read_fraction,
+            "update_fraction": self.update_fraction,
+            "insert_fraction": self.insert_fraction,
+        }
+
+
+#: YCSB workload B: 95% reads, 5% updates (read heavy).
+READ_HEAVY = OperationMix(read_fraction=0.95, update_fraction=0.05)
+#: YCSB workload A: 50% reads, 50% updates (update heavy / balanced).
+BALANCED = OperationMix(read_fraction=0.5, update_fraction=0.5)
+#: A write-dominated mix (ingest-style applications).
+WRITE_HEAVY = OperationMix(read_fraction=0.2, update_fraction=0.7, insert_fraction=0.1)
+#: YCSB workload C: 100% reads.
+READ_ONLY = OperationMix(read_fraction=1.0, update_fraction=0.0)
+
+
+class RecordSizer:
+    """Draws payload sizes for written records.
+
+    Sizes follow a lognormal distribution around ``mean_size`` with
+    coefficient of variation ``cv`` and are clamped to ``[min_size,
+    max_size]`` — realistic for web-application blobs without letting a fat
+    tail dominate memory accounting.
+    """
+
+    def __init__(
+        self,
+        mean_size: int = 1024,
+        cv: float = 0.5,
+        min_size: int = 64,
+        max_size: int = 65_536,
+    ) -> None:
+        if mean_size <= 0 or min_size <= 0 or max_size < min_size:
+            raise ValueError("invalid record size parameters")
+        self._mean = float(mean_size)
+        self._cv = max(0.0, float(cv))
+        self._min = int(min_size)
+        self._max = int(max_size)
+
+    @property
+    def mean_size(self) -> float:
+        """Mean payload size in bytes."""
+        return self._mean
+
+    def next_size(self, rng: np.random.Generator) -> int:
+        """Draw one payload size in bytes."""
+        if self._cv <= 0.0:
+            size = self._mean
+        else:
+            sigma2 = np.log(1.0 + self._cv * self._cv)
+            mu = np.log(self._mean) - sigma2 / 2.0
+            size = rng.lognormal(mean=mu, sigma=np.sqrt(sigma2))
+        return int(min(self._max, max(self._min, size)))

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, build_simulation_config, main
+from repro.cluster.types import ConsistencyLevel
+
+
+def test_parser_defaults_for_run():
+    args = build_parser().parse_args(["run"])
+    assert args.command == "run"
+    assert args.policy == "sla_driven"
+    assert args.shape == "constant"
+    assert args.duration == 600.0
+
+
+def test_parser_rejects_unknown_policy_and_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--policy", "magic"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["experiment", "E9"])
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_build_simulation_config_translates_arguments():
+    args = build_parser().parse_args(
+        [
+            "run",
+            "--seed",
+            "9",
+            "--duration",
+            "120",
+            "--nodes",
+            "4",
+            "--replication-factor",
+            "5",
+            "--rate",
+            "80",
+            "--mix",
+            "read_heavy",
+            "--shape",
+            "diurnal",
+            "--policy",
+            "reactive_threshold",
+            "--read-consistency",
+            "QUORUM",
+        ]
+    )
+    config = build_simulation_config(args)
+    assert config.seed == 9
+    assert config.duration == 120.0
+    assert config.cluster.initial_nodes == 4
+    # RF is clamped to the node count.
+    assert config.cluster.replication_factor == 4
+    assert config.cluster.read_consistency is ConsistencyLevel.QUORUM
+    assert config.controller.policy == "reactive_threshold"
+    assert config.workload.operation_mix.read_fraction == pytest.approx(0.95)
+    # The diurnal shape peaks at the requested rate.
+    assert config.workload.load_shape.rate(config.duration * 0.5) == pytest.approx(80.0, rel=0.05)
+
+
+def test_build_simulation_config_flash_shape():
+    args = build_parser().parse_args(["run", "--shape", "flash", "--rate", "100", "--duration", "200"])
+    config = build_simulation_config(args)
+    shape = config.workload.load_shape
+    assert shape.rate(0.0) == pytest.approx(40.0)
+    assert shape.peak_rate(0.0, 200.0) == pytest.approx(100.0, rel=0.05)
+
+
+def test_cli_run_prints_headline(capsys):
+    exit_code = main(
+        [
+            "run",
+            "--duration",
+            "60",
+            "--rate",
+            "40",
+            "--nodes",
+            "3",
+            "--node-capacity",
+            "400",
+            "--policy",
+            "static",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "read_p95_ms" in captured.out
+    assert "final configuration" in captured.out
+
+
+def test_cli_run_json_output(capsys):
+    exit_code = main(
+        [
+            "run",
+            "--duration",
+            "60",
+            "--rate",
+            "40",
+            "--node-capacity",
+            "400",
+            "--policy",
+            "static",
+            "--json",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.out)
+    assert payload["label"] == "cli-static"
+    assert "workload" in payload and "cost" in payload

@@ -1,0 +1,111 @@
+"""Tests for fault injection and its consistency consequences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, ConsistencyLevel, FaultInjector, NodeConfig
+from repro.simulation import Simulator
+
+
+def make_setup(seed=1, nodes=3, rf=3):
+    simulator = Simulator(seed=seed)
+    cluster = Cluster(
+        simulator,
+        ClusterConfig(
+            initial_nodes=nodes, replication_factor=rf, node=NodeConfig(ops_capacity=500.0)
+        ),
+    )
+    injector = FaultInjector(simulator, cluster)
+    return simulator, cluster, injector
+
+
+def test_scheduled_crash_and_recovery():
+    simulator, cluster, injector = make_setup()
+    node_id = cluster.node_ids()[0]
+    event = injector.crash_node(node_id, at=10.0, duration=20.0)
+    simulator.run_until(15.0)
+    assert not cluster.nodes[node_id].is_up
+    simulator.run_until(40.0)
+    assert cluster.nodes[node_id].is_up
+    assert event.end_time == 30.0
+
+
+def test_crash_without_recovery_stays_down():
+    simulator, cluster, injector = make_setup()
+    node_id = cluster.node_ids()[1]
+    injector.crash_node(node_id, at=5.0)
+    simulator.run_until(100.0)
+    assert not cluster.nodes[node_id].is_up
+
+
+def test_partition_installed_and_healed():
+    simulator, cluster, injector = make_setup()
+    nodes = list(cluster.node_ids())
+    injector.partition([nodes[0]], nodes[1:], at=10.0, duration=20.0)
+    simulator.run_until(15.0)
+    assert cluster.network.is_partitioned(nodes[0], nodes[1])
+    simulator.run_until(40.0)
+    assert not cluster.network.is_partitioned(nodes[0], nodes[1])
+
+
+def test_isolate_node_partitions_it_from_everyone():
+    simulator, cluster, injector = make_setup()
+    nodes = list(cluster.node_ids())
+    injector.isolate_node(nodes[2], at=5.0)
+    simulator.run_until(6.0)
+    assert cluster.network.is_partitioned(nodes[2], nodes[0])
+    assert cluster.network.is_partitioned(nodes[2], nodes[1])
+    assert not cluster.network.is_partitioned(nodes[0], nodes[1])
+
+
+def test_summary_lists_all_injected_faults():
+    simulator, cluster, injector = make_setup()
+    nodes = list(cluster.node_ids())
+    injector.crash_node(nodes[0], at=1.0, duration=2.0)
+    injector.partition([nodes[0]], [nodes[1]], at=5.0)
+    summary = injector.summary()
+    assert len(summary) == 2
+    assert summary[0]["kind"] == "node_crash"
+    assert summary[1]["kind"] == "partition"
+
+
+def test_writes_fail_under_majority_crash_with_quorum():
+    simulator, cluster, injector = make_setup()
+    cluster.preload({"k": b"v"})
+    nodes = list(cluster.node_ids())
+    injector.crash_node(nodes[0], at=5.0)
+    injector.crash_node(nodes[1], at=5.0)
+    simulator.run_until(30.0)
+    results = []
+    cluster.write("k", b"new", on_complete=results.append, consistency_level=ConsistencyLevel.QUORUM)
+    simulator.run_until(35.0)
+    assert len(results) == 1
+    assert not results[0].success
+
+
+def test_crash_during_traffic_creates_inconsistency_then_recovery_heals():
+    simulator, cluster, injector = make_setup(seed=3)
+    cluster.preload({f"user{i}": b"v" for i in range(20)})
+    nodes = list(cluster.node_ids())
+    injector.crash_node(nodes[2], at=10.0, duration=60.0)
+
+    write_results = []
+    for i in range(20):
+        simulator.schedule(
+            20.0 + i * 0.5,
+            lambda i=i: cluster.write(f"user{i}", b"updated", on_complete=write_results.append),
+        )
+    simulator.run_until(200.0)
+    assert all(r.success for r in write_results)
+    # After recovery and hint replay / anti-entropy, the recovered node holds
+    # the updated value for the keys it replicates.
+    node = cluster.nodes[nodes[2]]
+    stale = 0
+    for i in range(20):
+        key = f"user{i}"
+        if nodes[2] in cluster.ring.preference_list(key, 3):
+            version = node.storage.peek(key)
+            if version is None or version.value != b"updated":
+                stale += 1
+    assert stale <= 2

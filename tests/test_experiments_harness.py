@@ -1,0 +1,38 @@
+"""Smoke tests for the experiment harness (small parameterisations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ConsistencyLevel
+from repro.experiments import EXPERIMENTS, e1_parameter_study
+from repro.experiments.tables import ExperimentResult
+
+
+def test_experiment_registry_is_complete():
+    assert set(EXPERIMENTS) == {"E1", "E2", "E3", "E4", "E5", "E6"}
+    for module in EXPERIMENTS.values():
+        assert hasattr(module, "run")
+
+
+def test_e1_small_grid_produces_expected_rows():
+    result = e1_parameter_study.run(
+        seed=9,
+        scale=0.34,  # 120-second runs
+        rates=(60.0, 140.0),
+        node_counts=(3,),
+        replication_factors=(2,),
+        read_levels=(ConsistencyLevel.ONE,),
+    )
+    assert isinstance(result, ExperimentResult)
+    table = result.tables[0]
+    assert len(table) == 5  # 2 load points + 1 node point + 1 RF point + 1 CL point
+    # The load sweep must show the window growing with load.
+    load_rows = [row for row in table.rows if row["sweep"] == "load"]
+    assert load_rows[0]["offered_rate"] < load_rows[1]["offered_rate"]
+    assert load_rows[1]["window_p95_ms"] > load_rows[0]["window_p95_ms"]
+    # Utilisation should also grow with load.
+    assert load_rows[1]["mean_utilization"] > load_rows[0]["mean_utilization"]
+    # Rendering works and contains the sweep labels.
+    text = result.render()
+    assert "E1" in text and "load" in text

@@ -1,0 +1,130 @@
+"""Unit tests for percentile estimators and the metrics collector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, NodeConfig
+from repro.monitoring import MetricsCollector, MetricsConfig, P2QuantileEstimator, WindowedPercentiles
+from repro.simulation import Simulator
+from repro.workload import BALANCED, ConstantLoad, WorkloadGenerator, WorkloadSpec
+
+
+# ----------------------------------------------------------------------
+# P2 quantile estimator
+# ----------------------------------------------------------------------
+def test_p2_estimator_approximates_true_quantile():
+    rng = np.random.default_rng(1)
+    samples = rng.exponential(1.0, size=20_000)
+    estimator = P2QuantileEstimator(0.95)
+    for sample in samples:
+        estimator.observe(float(sample))
+    true_p95 = float(np.percentile(samples, 95))
+    assert estimator.value() == pytest.approx(true_p95, rel=0.1)
+    assert estimator.count == 20_000
+
+
+def test_p2_estimator_small_sample_exact():
+    estimator = P2QuantileEstimator(0.5)
+    for value in (5.0, 1.0, 3.0):
+        estimator.observe(value)
+    assert estimator.value() == pytest.approx(3.0)
+    assert P2QuantileEstimator(0.5).value() == 0.0
+
+
+def test_p2_estimator_validation():
+    with pytest.raises(ValueError):
+        P2QuantileEstimator(0.0)
+    with pytest.raises(ValueError):
+        P2QuantileEstimator(1.0)
+
+
+def test_windowed_percentiles_basic():
+    window = WindowedPercentiles(window=100)
+    window.observe_many(float(i) for i in range(1, 101))
+    assert window.percentile(50) == pytest.approx(50.5)
+    assert window.mean() == pytest.approx(50.5)
+    snapshot = window.snapshot()
+    assert snapshot["count"] == 100
+    assert snapshot["p99"] >= snapshot["p95"] >= snapshot["p50"]
+
+
+def test_windowed_percentiles_eviction_and_clear():
+    window = WindowedPercentiles(window=10)
+    window.observe_many(float(i) for i in range(100))
+    assert window.count == 100
+    assert window.percentile(0) >= 90.0
+    window.clear()
+    assert window.percentile(50) == 0.0
+    with pytest.raises(ValueError):
+        WindowedPercentiles(window=0)
+
+
+# ----------------------------------------------------------------------
+# MetricsCollector
+# ----------------------------------------------------------------------
+def make_collector(seed=1, rate=150.0, sample_interval=5.0):
+    simulator = Simulator(seed=seed)
+    cluster = Cluster(
+        simulator,
+        ClusterConfig(initial_nodes=3, replication_factor=3, node=NodeConfig(ops_capacity=500.0)),
+    )
+    collector = MetricsCollector(
+        simulator, cluster, MetricsConfig(sample_interval=sample_interval)
+    )
+    workload = WorkloadGenerator(
+        simulator,
+        cluster,
+        WorkloadSpec(record_count=200, operation_mix=BALANCED, load_shape=ConstantLoad(rate)),
+    )
+    workload.preload()
+    workload.start()
+    return simulator, cluster, collector, workload
+
+
+def test_collector_produces_snapshots_with_traffic():
+    simulator, _cluster, collector, _workload = make_collector()
+    simulator.run_until(60.0)
+    latest = collector.latest()
+    assert latest is not None
+    assert latest.throughput_ops > 0.0
+    assert latest.read_p95_latency > 0.0
+    assert latest.node_count == 3
+    assert 0.0 <= latest.mean_utilization <= 1.0
+    assert len(collector.snapshots()) == 12
+    assert len(collector.recent(3)) == 3
+
+
+def test_collector_series_recorded():
+    simulator, _cluster, collector, _workload = make_collector()
+    simulator.run_until(30.0)
+    assert "throughput_ops" in collector.series.names()
+    assert "read_latency" in collector.series.names()
+    assert len(collector.throughput_series()) >= 5
+
+
+def test_collector_excludes_probe_operations_by_default():
+    simulator, cluster, collector, _workload = make_collector()
+    from repro.cluster.types import OperationType
+
+    cluster.write("probe-key", b"p", operation=OperationType.PROBE_WRITE)
+    simulator.run_until(10.0)
+    # Only checks that the call path does not blow up and probes are not
+    # required for snapshots; production traffic dominates anyway.
+    assert collector.latest() is not None
+
+
+def test_collector_snapshot_dict_shape():
+    simulator, _cluster, collector, _workload = make_collector()
+    simulator.run_until(20.0)
+    as_dict = collector.latest().as_dict()
+    for key in (
+        "throughput_ops",
+        "read_p95_latency",
+        "failure_fraction",
+        "mean_utilization",
+        "node_count",
+        "stale_read_fraction",
+    ):
+        assert key in as_dict

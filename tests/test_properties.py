@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ConsistencyLevel, HashRing, StorageEngine, VersionStamp, VersionedValue
+from repro.cluster.versioning import compare_versions
+from repro.consistency import StalenessModel
+from repro.core.forecasting import EwmaForecaster, HoltWintersForecaster
+from repro.monitoring import P2QuantileEstimator, WindowedPercentiles
+from repro.simulation import TimeSeries
+from repro.workload import ZipfianKeys, make_distribution
+
+settings.register_profile(
+    "repro", deadline=None, max_examples=60, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Hash ring invariants
+# ----------------------------------------------------------------------
+node_names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6), min_size=1, max_size=8, unique=True
+)
+
+
+@given(nodes=node_names, key=st.text(min_size=1, max_size=20), rf=st.integers(1, 5))
+def test_ring_preference_list_invariants(nodes, key, rf):
+    ring = HashRing(virtual_nodes=16)
+    for node in nodes:
+        ring.add_node(node)
+    prefs = ring.preference_list(key, rf)
+    # Size is min(rf, n), entries unique and drawn from the members.
+    assert len(prefs) == min(rf, len(nodes))
+    assert len(set(prefs)) == len(prefs)
+    assert set(prefs) <= set(nodes)
+    # Determinism.
+    assert prefs == ring.preference_list(key, rf)
+
+
+@given(nodes=node_names, key=st.text(min_size=1, max_size=20))
+def test_ring_smaller_rf_is_prefix_of_larger(nodes, key):
+    ring = HashRing(virtual_nodes=16)
+    for node in nodes:
+        ring.add_node(node)
+    smaller = ring.preference_list(key, 2)
+    larger = ring.preference_list(key, 4)
+    assert larger[: len(smaller)] == smaller
+
+
+# ----------------------------------------------------------------------
+# Versioning / storage invariants
+# ----------------------------------------------------------------------
+version_strategy = st.builds(
+    VersionedValue,
+    stamp=st.builds(
+        VersionStamp,
+        timestamp=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        sequence=st.integers(0, 10_000),
+    ),
+    value=st.just(b"v"),
+    write_id=st.integers(0, 1000),
+    size=st.integers(1, 4096),
+)
+
+
+@given(versions=st.lists(version_strategy, min_size=1, max_size=20))
+def test_storage_lww_keeps_global_maximum(versions):
+    engine = StorageEngine("n")
+    for version in versions:
+        engine.apply("k", version)
+    newest = max(versions, key=lambda v: v.stamp)
+    assert engine.peek("k").stamp == newest.stamp
+
+
+@given(a=version_strategy, b=version_strategy)
+def test_compare_versions_is_antisymmetric(a, b):
+    assert compare_versions(a, b) == -compare_versions(b, a)
+
+
+# ----------------------------------------------------------------------
+# Consistency-level arithmetic
+# ----------------------------------------------------------------------
+@given(rf=st.integers(1, 9))
+def test_consistency_level_ack_bounds(rf):
+    for level in ConsistencyLevel:
+        acks = level.required_acks(rf)
+        assert 1 <= acks <= rf
+    assert ConsistencyLevel.QUORUM.required_acks(rf) == rf // 2 + 1
+    assert ConsistencyLevel.ALL.required_acks(rf) == rf
+
+
+@given(rf=st.integers(1, 7))
+def test_quorum_reads_and_writes_always_intersect(rf):
+    assert ConsistencyLevel.is_strongly_consistent(
+        ConsistencyLevel.QUORUM, ConsistencyLevel.QUORUM, rf
+    )
+
+
+# ----------------------------------------------------------------------
+# PBS model invariants
+# ----------------------------------------------------------------------
+@given(
+    lag=st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+    rf=st.integers(1, 7),
+    t=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+)
+def test_pbs_probability_is_valid_and_monotone_in_acks(lag, rf, t):
+    model = StalenessModel(mean_replication_lag=lag)
+    previous = 1.1
+    for read_acks in range(1, rf + 1):
+        p = model.stale_probability(t, rf, read_acks=read_acks, write_acks=1)
+        assert 0.0 <= p <= 1.0
+        assert p <= previous + 1e-9
+        previous = p
+
+
+@given(lag=st.floats(min_value=0.001, max_value=5.0), rf=st.integers(2, 6))
+def test_pbs_probability_decreases_over_time(lag, rf):
+    model = StalenessModel(mean_replication_lag=lag)
+    samples = [model.stale_probability(t, rf, 1, 1) for t in (0.0, lag, 3 * lag, 10 * lag)]
+    for earlier, later in zip(samples, samples[1:]):
+        assert later <= earlier + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Streaming percentiles
+# ----------------------------------------------------------------------
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=400))
+def test_windowed_percentiles_bounded_by_min_max(values):
+    window = WindowedPercentiles(window=500)
+    window.observe_many(values)
+    for q in (0, 50, 95, 100):
+        assert min(values) - 1e-9 <= window.percentile(q) <= max(values) + 1e-9
+
+
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=30, max_size=400))
+def test_p2_estimator_stays_within_range(values):
+    estimator = P2QuantileEstimator(0.9)
+    for value in values:
+        estimator.observe(value)
+    assert min(values) - 1e-9 <= estimator.value() <= max(values) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Time series invariants
+# ----------------------------------------------------------------------
+@given(
+    samples=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        ),
+        min_size=2,
+        max_size=100,
+    )
+)
+def test_timeseries_integral_matches_numpy(samples):
+    ordered = sorted(samples, key=lambda pair: pair[0])
+    series = TimeSeries("x")
+    last_time = None
+    for time, value in ordered:
+        if last_time is not None and time <= last_time:
+            time = last_time + 1e-6
+        series.record(time, value)
+        last_time = time
+    times = np.asarray(series.times)
+    values = np.asarray(series.values)
+    expected = float(np.sum(values[:-1] * np.diff(times)))
+    assert series.integrate() == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Workload distributions
+# ----------------------------------------------------------------------
+@given(
+    record_count=st.integers(2, 5000),
+    name=st.sampled_from(["uniform", "zipfian", "latest", "hotspot"]),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_distributions_stay_in_range(record_count, name, seed):
+    distribution = make_distribution(name, record_count)
+    rng = np.random.default_rng(seed)
+    for _ in range(50):
+        index = distribution.next_index(rng)
+        assert 0 <= index < record_count
+
+
+@given(theta=st.floats(min_value=0.1, max_value=0.99), seed=st.integers(0, 1000))
+def test_zipfian_any_theta_valid(theta, seed):
+    distribution = ZipfianKeys(100, theta=theta)
+    rng = np.random.default_rng(seed)
+    draws = [distribution.next_index(rng) for _ in range(100)]
+    assert all(0 <= d < 100 for d in draws)
+
+
+# ----------------------------------------------------------------------
+# Forecasters
+# ----------------------------------------------------------------------
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=100))
+def test_ewma_forecast_bounded_by_observed_range(values):
+    forecaster = EwmaForecaster(alpha=0.4)
+    for i, value in enumerate(values):
+        forecaster.observe(float(i), value)
+    forecast = forecaster.forecast(10.0)
+    assert min(values) - 1e-6 <= forecast <= max(values) + 1e-6
+
+
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=2, max_size=100),
+    horizon=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+)
+def test_holt_winters_forecast_is_finite_and_non_negative(values, horizon):
+    forecaster = HoltWintersForecaster()
+    for i, value in enumerate(values):
+        forecaster.observe(float(i * 10), value)
+    forecast = forecaster.forecast(horizon)
+    assert np.isfinite(forecast)
+    assert forecast >= 0.0

@@ -1,0 +1,178 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import SchedulingError, SimulationStateError, Simulator
+
+
+def test_clock_starts_at_zero():
+    simulator = Simulator(seed=0)
+    assert simulator.now == 0.0
+    assert simulator.elapsed == 0.0
+
+
+def test_schedule_and_run_until_advances_clock():
+    simulator = Simulator(seed=0)
+    fired = []
+    simulator.schedule(5.0, lambda: fired.append(simulator.now))
+    executed = simulator.run_until(10.0)
+    assert executed == 1
+    assert fired == [5.0]
+    assert simulator.now == 10.0
+
+
+def test_run_until_does_not_execute_later_events():
+    simulator = Simulator(seed=0)
+    fired = []
+    simulator.schedule(5.0, lambda: fired.append("early"))
+    simulator.schedule(15.0, lambda: fired.append("late"))
+    simulator.run_until(10.0)
+    assert fired == ["early"]
+    simulator.run_until(20.0)
+    assert fired == ["early", "late"]
+
+
+def test_schedule_in_uses_relative_delay():
+    simulator = Simulator(seed=0)
+    times = []
+    simulator.schedule_in(2.0, lambda: times.append(simulator.now))
+    simulator.run_until(3.0)
+    simulator.schedule_in(2.0, lambda: times.append(simulator.now))
+    simulator.run_until(6.0)
+    assert times == [2.0, 5.0]
+
+
+def test_scheduling_in_the_past_raises():
+    simulator = Simulator(seed=0)
+    simulator.run_until(10.0)
+    with pytest.raises(SchedulingError):
+        simulator.schedule(5.0, lambda: None)
+    with pytest.raises(SchedulingError):
+        simulator.schedule_in(-1.0, lambda: None)
+
+
+def test_non_finite_times_rejected():
+    simulator = Simulator(seed=0)
+    with pytest.raises(SchedulingError):
+        simulator.schedule(float("nan"), lambda: None)
+    with pytest.raises(SchedulingError):
+        simulator.schedule(float("inf"), lambda: None)
+
+
+def test_run_until_backwards_raises():
+    simulator = Simulator(seed=0)
+    simulator.run_until(10.0)
+    with pytest.raises(SchedulingError):
+        simulator.run_until(5.0)
+
+
+def test_events_scheduled_during_execution_run_in_order():
+    simulator = Simulator(seed=0)
+    order = []
+
+    def first():
+        order.append("first")
+        simulator.schedule_in(1.0, lambda: order.append("nested"))
+
+    simulator.schedule(1.0, first)
+    simulator.schedule(3.0, lambda: order.append("third"))
+    simulator.run_until(10.0)
+    assert order == ["first", "nested", "third"]
+
+
+def test_periodic_task_fires_repeatedly_and_stops():
+    simulator = Simulator(seed=0)
+    ticks = []
+    task = simulator.call_every(1.0, lambda: ticks.append(simulator.now))
+    simulator.run_until(5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+    task.stop()
+    simulator.run_until(10.0)
+    assert len(ticks) == 5
+    assert task.stopped
+
+
+def test_periodic_task_callback_returning_false_stops_it():
+    simulator = Simulator(seed=0)
+    count = []
+
+    def tick():
+        count.append(1)
+        return len(count) < 3
+
+    simulator.call_every(1.0, tick)
+    simulator.run_until(20.0)
+    assert len(count) == 3
+
+
+def test_periodic_task_interval_change():
+    simulator = Simulator(seed=0)
+    ticks = []
+    task = simulator.call_every(1.0, lambda: ticks.append(simulator.now))
+    simulator.run_until(2.5)
+    task.set_interval(5.0)
+    # The already-scheduled occurrence at t=3 still fires; the new interval
+    # applies from the next reschedule onwards.
+    simulator.run_until(12.5)
+    assert ticks == [1.0, 2.0, 3.0, 8.0]
+
+
+def test_periodic_task_rejects_non_positive_interval():
+    simulator = Simulator(seed=0)
+    with pytest.raises(SchedulingError):
+        simulator.call_every(0.0, lambda: None)
+
+
+def test_deterministic_random_streams_with_same_seed():
+    values_a = Simulator(seed=42).streams.stream("x").random(5).tolist()
+    values_b = Simulator(seed=42).streams.stream("x").random(5).tolist()
+    values_c = Simulator(seed=43).streams.stream("x").random(5).tolist()
+    assert values_a == values_b
+    assert values_a != values_c
+
+
+def test_stop_prevents_further_scheduling():
+    simulator = Simulator(seed=0)
+    simulator.schedule(1.0, lambda: None)
+    simulator.stop()
+    with pytest.raises(SimulationStateError):
+        simulator.schedule(2.0, lambda: None)
+    assert simulator.pending_events == 0
+
+
+def test_events_processed_counter():
+    simulator = Simulator(seed=0)
+    for i in range(5):
+        simulator.schedule(float(i + 1), lambda: None)
+    simulator.run_until(10.0)
+    assert simulator.events_processed == 5
+
+
+def test_trace_hook_receives_labels():
+    simulator = Simulator(seed=0)
+    seen = []
+    simulator.add_trace_hook(lambda time, label: seen.append((time, label)))
+    simulator.schedule(1.0, lambda: None, label="hello")
+    simulator.run_until(2.0)
+    assert seen == [(1.0, "hello")]
+
+
+def test_run_until_empty_executes_everything():
+    simulator = Simulator(seed=0)
+    fired = []
+    for i in range(3):
+        simulator.schedule(float(i + 1), lambda i=i: fired.append(i))
+    executed = simulator.run_until_empty()
+    assert executed == 3
+    assert fired == [0, 1, 2]
+
+
+def test_max_events_limit_respected():
+    simulator = Simulator(seed=0)
+    for i in range(10):
+        simulator.schedule(float(i + 1), lambda: None)
+    executed = simulator.run_until(100.0, max_events=4)
+    assert executed == 4
+    assert simulator.pending_events == 6

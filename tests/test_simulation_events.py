@@ -1,0 +1,99 @@
+"""Unit tests for the event queue primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.events import Event, EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(2.0, lambda: fired.append("b"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(3.0, lambda: fired.append("c"))
+    while queue:
+        event = queue.pop()
+        event.callback(*event.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_orders_by_priority_then_fifo():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, lambda: order.append("normal-1"), priority=0)
+    queue.push(1.0, lambda: order.append("control"), priority=-10)
+    queue.push(1.0, lambda: order.append("normal-2"), priority=0)
+    queue.push(1.0, lambda: order.append("late"), priority=10)
+    while queue:
+        event = queue.pop()
+        event.callback()
+    assert order == ["control", "normal-1", "normal-2", "late"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    handle = queue.push(1.0, lambda: fired.append("cancelled"))
+    queue.push(2.0, lambda: fired.append("kept"))
+    handle.cancel()
+    events = []
+    while queue:
+        event = queue.pop()
+        if event is not None:
+            events.append(event)
+            event.callback()
+    assert fired == ["kept"]
+    assert queue.stats["cancelled_skipped"] == 1
+
+
+def test_peek_time_skips_cancelled_head():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    handle.cancel()
+    assert queue.peek_time() == 5.0
+
+
+def test_pop_on_empty_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+    assert not queue
+
+
+def test_handle_reports_time_and_label():
+    queue = EventQueue()
+    handle = queue.push(4.5, lambda: None, label="tick")
+    assert handle.time == 4.5
+    assert handle.label == "tick"
+    assert not handle.cancelled
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_event_ordering_dataclass():
+    early = Event(time=1.0, priority=0, sequence=0, callback=lambda: None)
+    late = Event(time=2.0, priority=0, sequence=1, callback=lambda: None)
+    assert early < late
+
+
+def test_args_are_passed_to_callback():
+    queue = EventQueue()
+    seen = []
+    queue.push(1.0, lambda a, b: seen.append((a, b)), args=(1, "x"))
+    event = queue.pop()
+    event.callback(*event.args)
+    assert seen == [(1, "x")]
+
+
+def test_stats_counters():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.pop()
+    stats = queue.stats
+    assert stats["scheduled"] == 2
+    assert stats["fired"] == 1
+    assert stats["pending"] == 1

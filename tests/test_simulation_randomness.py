@@ -1,0 +1,80 @@
+"""Unit tests for the deterministic random-stream registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.randomness import RandomStreams, exponential, lognormal_from_mean_cv
+
+
+def test_same_seed_same_stream_same_sequence():
+    a = RandomStreams(seed=7).stream("workload").random(10)
+    b = RandomStreams(seed=7).stream("workload").random(10)
+    assert np.allclose(a, b)
+
+
+def test_different_names_give_independent_streams():
+    streams = RandomStreams(seed=7)
+    a = streams.stream("a").random(10)
+    b = streams.stream("b").random(10)
+    assert not np.allclose(a, b)
+
+
+def test_stream_identity_is_cached():
+    streams = RandomStreams(seed=1)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_creation_order_does_not_change_streams():
+    first = RandomStreams(seed=3)
+    first.stream("alpha")
+    alpha_then_beta = first.stream("beta").random(5)
+
+    second = RandomStreams(seed=3)
+    beta_only = second.stream("beta").random(5)
+    assert np.allclose(alpha_then_beta, beta_only)
+
+
+def test_spawn_family_members_are_distinct_and_stable():
+    streams = RandomStreams(seed=9)
+    node0 = streams.spawn("node", 0).random(5)
+    node1 = streams.spawn("node", 1).random(5)
+    assert not np.allclose(node0, node1)
+    again = RandomStreams(seed=9).spawn("node", 0).random(5)
+    assert np.allclose(node0, again)
+
+
+def test_streams_bulk_creation_and_known_streams():
+    streams = RandomStreams(seed=2)
+    created = streams.streams(["x", "y"])
+    assert set(created) == {"x", "y"}
+    assert set(streams.known_streams()) == {"x", "y"}
+
+
+def test_reset_recreates_generators_from_scratch():
+    streams = RandomStreams(seed=5)
+    before = streams.stream("w").random(3)
+    streams.reset()
+    after = streams.stream("w").random(3)
+    assert np.allclose(before, after)
+
+
+def test_exponential_zero_mean_is_zero():
+    rng = np.random.default_rng(0)
+    assert exponential(rng, 0.0) == 0.0
+    assert exponential(rng, -1.0) == 0.0
+
+
+def test_exponential_positive_mean_matches_expectation():
+    rng = np.random.default_rng(0)
+    samples = [exponential(rng, 2.0) for _ in range(5000)]
+    assert abs(np.mean(samples) - 2.0) < 0.15
+
+
+def test_lognormal_mean_and_degenerate_cases():
+    rng = np.random.default_rng(0)
+    samples = [lognormal_from_mean_cv(rng, 10.0, 0.5) for _ in range(8000)]
+    assert abs(np.mean(samples) - 10.0) < 0.5
+    assert lognormal_from_mean_cv(rng, 10.0, 0.0) == 10.0
+    assert lognormal_from_mean_cv(rng, 0.0, 0.5) == 0.0

@@ -1,0 +1,209 @@
+"""Unit tests for load shapes and the workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, NodeConfig
+from repro.simulation import Simulator
+from repro.workload import (
+    BALANCED,
+    CompositeLoad,
+    ConstantLoad,
+    DiurnalLoad,
+    FlashCrowdLoad,
+    NoisyLoad,
+    RampLoad,
+    StepLoad,
+    TraceLoad,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+
+
+# ----------------------------------------------------------------------
+# Load shapes
+# ----------------------------------------------------------------------
+def test_constant_load():
+    shape = ConstantLoad(50.0)
+    assert shape.rate(0.0) == 50.0
+    assert shape.rate(1e6) == 50.0
+    with pytest.raises(ValueError):
+        ConstantLoad(-1.0)
+
+
+def test_diurnal_load_peaks_and_troughs():
+    shape = DiurnalLoad(trough_rate=10.0, peak_rate=100.0, period=1000.0, peak_time=0.5)
+    assert shape.rate(500.0) == pytest.approx(100.0)
+    assert shape.rate(0.0) == pytest.approx(10.0)
+    assert shape.rate(1000.0) == pytest.approx(10.0)
+    mid = shape.rate(250.0)
+    assert 10.0 < mid < 100.0
+    with pytest.raises(ValueError):
+        DiurnalLoad(trough_rate=50.0, peak_rate=10.0)
+
+
+def test_flash_crowd_phases():
+    shape = FlashCrowdLoad(
+        base_rate=10.0,
+        spike_rate=100.0,
+        spike_start=100.0,
+        ramp_duration=10.0,
+        hold_duration=20.0,
+        decay_duration=10.0,
+    )
+    assert shape.rate(50.0) == 10.0
+    assert shape.rate(105.0) == pytest.approx(55.0)
+    assert shape.rate(120.0) == 100.0
+    assert shape.rate(135.0) == pytest.approx(55.0)
+    assert shape.rate(200.0) == 10.0
+
+
+def test_step_and_ramp_loads():
+    step = StepLoad(before_rate=10.0, after_rate=50.0, step_time=100.0)
+    assert step.rate(99.9) == 10.0
+    assert step.rate(100.0) == 50.0
+    ramp = RampLoad(start_rate=10.0, end_rate=20.0, ramp_start=0.0, ramp_end=10.0)
+    assert ramp.rate(-1.0) == 10.0
+    assert ramp.rate(5.0) == pytest.approx(15.0)
+    assert ramp.rate(20.0) == 20.0
+    with pytest.raises(ValueError):
+        RampLoad(10.0, 20.0, ramp_start=5.0, ramp_end=5.0)
+
+
+def test_composite_and_addition_operator():
+    combined = ConstantLoad(10.0) + ConstantLoad(5.0)
+    assert isinstance(combined, CompositeLoad)
+    assert combined.rate(0.0) == 15.0
+    with pytest.raises(ValueError):
+        CompositeLoad([])
+
+
+def test_noisy_load_stays_near_base_and_is_deterministic():
+    base = ConstantLoad(100.0)
+    noisy = NoisyLoad(base, amplitude=0.1, period=60.0)
+    values = [noisy.rate(t) for t in range(0, 600, 7)]
+    assert all(85.0 <= v <= 115.0 for v in values)
+    assert values == [noisy.rate(t) for t in range(0, 600, 7)]
+    with pytest.raises(ValueError):
+        NoisyLoad(base, amplitude=1.5)
+
+
+def test_trace_load_interpolates():
+    trace = TraceLoad([(0.0, 10.0), (10.0, 20.0), (20.0, 0.0)])
+    assert trace.rate(-5.0) == 10.0
+    assert trace.rate(5.0) == pytest.approx(15.0)
+    assert trace.rate(15.0) == pytest.approx(10.0)
+    assert trace.rate(100.0) == 0.0
+    with pytest.raises(ValueError):
+        TraceLoad([(0.0, 1.0)])
+
+
+def test_mean_and_peak_rate_helpers():
+    shape = StepLoad(before_rate=10.0, after_rate=30.0, step_time=50.0)
+    assert shape.peak_rate(0.0, 100.0) == 30.0
+    assert 10.0 < shape.mean_rate(0.0, 100.0) < 30.0
+
+
+# ----------------------------------------------------------------------
+# Workload generator
+# ----------------------------------------------------------------------
+def make_generator(simulator, rate=200.0, mix=BALANCED, records=200):
+    cluster = Cluster(
+        simulator,
+        ClusterConfig(initial_nodes=3, replication_factor=3, node=NodeConfig(ops_capacity=2000.0)),
+    )
+    spec = WorkloadSpec(
+        record_count=records,
+        operation_mix=mix,
+        load_shape=ConstantLoad(rate),
+        preload=True,
+    )
+    return cluster, WorkloadGenerator(simulator, cluster, spec)
+
+
+def test_preload_populates_the_store():
+    simulator = Simulator(seed=1)
+    cluster, generator = make_generator(simulator, records=100)
+    loaded = generator.preload()
+    assert loaded == 100
+    versions = cluster.replica_versions("user0")
+    assert any(v is not None for v in versions.values())
+
+
+def test_generator_issues_operations_at_roughly_target_rate():
+    simulator = Simulator(seed=2)
+    _cluster, generator = make_generator(simulator, rate=200.0)
+    generator.preload()
+    generator.start()
+    simulator.run_until(20.0)
+    issued = generator.stats.operations_issued
+    assert issued == pytest.approx(200.0 * 20.0, rel=0.15)
+
+
+def test_generator_respects_operation_mix():
+    simulator = Simulator(seed=3)
+    _cluster, generator = make_generator(simulator, rate=300.0, mix=BALANCED)
+    generator.preload()
+    generator.start()
+    simulator.run_until(20.0)
+    stats = generator.stats
+    read_share = stats.reads_issued / stats.operations_issued
+    assert read_share == pytest.approx(0.5, abs=0.05)
+
+
+def test_generator_stop_halts_new_operations():
+    simulator = Simulator(seed=4)
+    _cluster, generator = make_generator(simulator)
+    generator.preload()
+    generator.start()
+    simulator.run_until(5.0)
+    generator.stop()
+    issued = generator.stats.operations_issued
+    simulator.run_until(15.0)
+    assert generator.stats.operations_issued == issued
+
+
+def test_generator_records_latencies_and_summary():
+    simulator = Simulator(seed=5)
+    _cluster, generator = make_generator(simulator, rate=100.0)
+    generator.preload()
+    generator.start()
+    simulator.run_until(10.0)
+    stats = generator.stats
+    assert stats.operations_completed > 0
+    assert stats.latency_percentile(95, "read") > 0.0
+    assert stats.latency_percentile(95, "all") > 0.0
+    summary = stats.summary()
+    assert summary["read_p95_ms"] > 0.0
+    assert 0.0 <= summary["failure_fraction"] <= 1.0
+    with pytest.raises(ValueError):
+        stats.latency_percentile(95, "bogus")
+
+
+def test_inserts_extend_the_key_space():
+    simulator = Simulator(seed=6)
+    from repro.workload import OperationMix
+
+    insert_mix = OperationMix(read_fraction=0.2, update_fraction=0.0, insert_fraction=0.8)
+    cluster = Cluster(
+        simulator,
+        ClusterConfig(initial_nodes=3, replication_factor=3, node=NodeConfig(ops_capacity=2000.0)),
+    )
+    spec = WorkloadSpec(record_count=50, operation_mix=insert_mix, load_shape=ConstantLoad(100.0))
+    generator = WorkloadGenerator(simulator, cluster, spec)
+    generator.preload()
+    generator.start()
+    simulator.run_until(10.0)
+    assert generator._next_record_index > 50
+    assert generator.stats.writes_issued > 0
+
+
+def test_offered_rate_sampling_and_current_rate():
+    simulator = Simulator(seed=7)
+    _cluster, generator = make_generator(simulator, rate=150.0)
+    generator.preload()
+    generator.start()
+    simulator.run_until(30.0)
+    assert generator.current_rate() == pytest.approx(150.0)
+    assert len(generator.stats.offered_rate_series) >= 2
