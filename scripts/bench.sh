@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Record the kernel / data-plane throughput trajectory in BENCH_kernel.json.
+#
+# Usage:
+#   scripts/bench.sh            # full run, refuses >20% regressions
+#   scripts/bench.sh --force    # record even if a rate regressed
+#   scripts/bench.sh --quick    # smaller run (CI smoke, noisier numbers)
+#
+# All arguments are forwarded to benchmarks/bench_kernel.py.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+PYTHONPATH=src exec python benchmarks/bench_kernel.py --json BENCH_kernel.json "$@"

@@ -366,9 +366,12 @@ class Cluster:
         """
         loaded = 0
         now = self._simulator.now
+        sizes = sizes or {}
+        default_size = self.config.coordinator.default_value_size
+        next_sequence = self.coordinator.next_sequence
         for key, value in items.items():
-            stamp = VersionStamp(timestamp=now, sequence=next(self.coordinator._sequence))
-            size = (sizes or {}).get(key, self.config.coordinator.default_value_size)
+            stamp = VersionStamp(timestamp=now, sequence=next_sequence())
+            size = sizes.get(key, default_size)
             version = VersionedValue(stamp=stamp, value=value, write_id=0, size=size)
             replicas = self.ring.preference_list(key, self._replication_factor)
             if not replicas:

@@ -22,7 +22,6 @@ The coordinator reports three kinds of events to the cluster's listeners:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -94,9 +93,9 @@ class AckedVersionRegistry:
         return len(self._acked)
 
 
-@dataclass
+@dataclass(slots=True)
 class _WriteContext:
-    """In-flight state of one coordinated write."""
+    """In-flight state of one coordinated write (slotted: one per request)."""
 
     result: WriteResult
     required_acks: int
@@ -106,9 +105,9 @@ class _WriteContext:
     on_complete: Optional[Callable[[WriteResult], None]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReadContext:
-    """In-flight state of one coordinated read."""
+    """In-flight state of one coordinated read (slotted: one per request)."""
 
     result: ReadResult
     required_responses: int
@@ -136,8 +135,11 @@ class RequestCoordinator:
         self._nodes = nodes
         self._membership = membership
         self._config = config or CoordinatorConfig()
-        self._sequence = itertools.count(1)
-        self._write_ids = itertools.count(1)
+        # Plain integer counters: bumping an attribute is cheaper than the
+        # generator-protocol round-trip of ``next(itertools.count())`` on a
+        # path taken once per write.
+        self._sequence = 0
+        self._write_ids = 0
         self._rng = simulator.streams.stream("coordinator")
         self.acked_registry = AckedVersionRegistry()
 
@@ -163,6 +165,11 @@ class RequestCoordinator:
     def config(self) -> CoordinatorConfig:
         """Coordinator configuration in effect."""
         return self._config
+
+    def next_sequence(self) -> int:
+        """Allocate the next version-stamp sequence number."""
+        self._sequence += 1
+        return self._sequence
 
     # ------------------------------------------------------------------
     # Helpers
@@ -252,11 +259,12 @@ class RequestCoordinator:
             return
 
         now = self._simulator.now
-        stamp = VersionStamp(timestamp=now, sequence=next(self._sequence))
+        self._write_ids += 1
+        stamp = VersionStamp(timestamp=now, sequence=self.next_sequence())
         version = VersionedValue(
             stamp=stamp,
             value=value,
-            write_id=next(self._write_ids),
+            write_id=self._write_ids,
             size=size if size is not None else self._config.default_value_size,
         )
         context.result.version_timestamp = stamp.timestamp

@@ -71,7 +71,7 @@ class NodeConfig:
     """
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaReadResponse:
     """What a replica returns to a coordinator for a read request."""
 
@@ -80,7 +80,7 @@ class ReplicaReadResponse:
     responded_at: float
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaWriteResponse:
     """What a replica returns to a coordinator for a write request."""
 
@@ -111,6 +111,11 @@ class StorageNode:
         )
         self.storage = StorageEngine(node_id)
         self._base_demand = 1.0 / self.config.ops_capacity
+        # Per-operation event labels, rendered once instead of per request.
+        self._write_label = f"{node_id}:write"
+        self._read_label = f"{node_id}:read"
+        self._stream_in_label = f"{node_id}:stream_in"
+        self._stream_out_label = f"{node_id}:stream_out"
         self.started_at = simulator.now
         self.stopped_at: Optional[float] = None
         self.foreground_ops = 0
@@ -209,7 +214,7 @@ class StorageNode:
             applied = self.storage.apply(key, version)
             on_done(ReplicaWriteResponse(self.node_id, applied, now))
 
-        self.server.submit(demand, _complete, label=f"{self.node_id}:write")
+        self.server.submit(demand, _complete, label=self._write_label)
 
     def replica_read(
         self,
@@ -226,7 +231,7 @@ class StorageNode:
             version = self.storage.get(key)
             on_done(ReplicaReadResponse(self.node_id, version, now))
 
-        self.server.submit(demand, _complete, label=f"{self.node_id}:read")
+        self.server.submit(demand, _complete, label=self._read_label)
 
     def stream_in(
         self,
@@ -244,7 +249,7 @@ class StorageNode:
                 self.storage.apply(key, version)
             on_done(now)
 
-        self.server.submit(demand, _complete, label=f"{self.node_id}:stream_in")
+        self.server.submit(demand, _complete, label=self._stream_in_label)
 
     def stream_out(
         self,
@@ -265,7 +270,7 @@ class StorageNode:
                     items[key] = version
             on_done(items, now)
 
-        self.server.submit(demand, _complete, label=f"{self.node_id}:stream_out")
+        self.server.submit(demand, _complete, label=self._stream_out_label)
 
     # ------------------------------------------------------------------
     # Metrics

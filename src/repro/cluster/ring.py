@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import ConfigurationError, UnknownNodeError
@@ -26,8 +27,14 @@ _RING_BITS = 64
 _RING_SIZE = 2**_RING_BITS
 
 
+@lru_cache(maxsize=131072)
 def hash_key(key: str) -> int:
-    """Map an arbitrary string key to a position on the 64-bit ring."""
+    """Map an arbitrary string key to a position on the 64-bit ring.
+
+    Memoised: the same record keys are hashed on every operation, and a
+    blake2b round-trip per lookup was one of the data plane's largest costs.
+    The function is pure, so caching cannot change results.
+    """
     digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big")
 
@@ -47,6 +54,11 @@ class HashRing:
         self._tokens: List[int] = []
         self._token_owner: Dict[int, str] = {}
         self._nodes: set[str] = set()
+        # Replica sets are fully determined by (key, rf) and the current
+        # membership, so they are memoised until the next topology change.
+        # The cache stores private copies and hands out fresh lists, so
+        # callers may mutate what they receive.
+        self._preference_cache: Dict[Tuple[str, int], List[str]] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -73,6 +85,9 @@ class HashRing:
         """Add a physical node and its virtual nodes to the ring."""
         if node_id in self._nodes:
             raise ConfigurationError(f"node {node_id!r} is already on the ring")
+        # Invalidate before mutating so an error mid-insert (token collision)
+        # cannot leave stale replica sets cached against the old topology.
+        self._preference_cache.clear()
         self._nodes.add(node_id)
         for i in range(self._virtual_nodes):
             token = _token_for(node_id, i)
@@ -91,6 +106,7 @@ class HashRing:
         """Remove a physical node and all its virtual nodes from the ring."""
         if node_id not in self._nodes:
             raise UnknownNodeError(f"node {node_id!r} is not on the ring")
+        self._preference_cache.clear()
         self._nodes.discard(node_id)
         remaining = [t for t in self._tokens if self._token_owner[t] != node_id]
         for token in set(self._tokens) - set(remaining):
@@ -108,6 +124,10 @@ class HashRing:
             )
         if not self._tokens:
             return []
+        cache_key = (key, replication_factor)
+        cached = self._preference_cache.get(cache_key)
+        if cached is not None:
+            return cached.copy()
         count = min(replication_factor, len(self._nodes))
         position = hash_key(key)
         start = bisect.bisect_right(self._tokens, position) % len(self._tokens)
@@ -122,6 +142,13 @@ class HashRing:
                 if len(owners) == count:
                     break
             index = (index + 1) % len(self._tokens)
+        if len(self._preference_cache) >= 1 << 17:
+            # Reset rather than stop admitting: with skewed key popularity
+            # the hot keys re-warm immediately, whereas a full cache that
+            # never admits again would silently degrade huge key spaces to
+            # the uncached path for the rest of the run.
+            self._preference_cache.clear()
+        self._preference_cache[cache_key] = owners.copy()
         return owners
 
     def primary(self, key: str) -> Optional[str]:

@@ -179,13 +179,15 @@ class MetricsCollector(ClusterListener):
             self._window_mismatches / self._window_reads if self._window_reads else 0.0
         )
 
+        read_p95, read_p99 = self._read_latencies.percentiles((95, 99))
+        write_p95, write_p99 = self._write_latencies.percentiles((95, 99))
         snapshot = MetricsSnapshot(
             time=now,
             throughput_ops=throughput,
-            read_p95_latency=self._read_latencies.percentile(95),
-            read_p99_latency=self._read_latencies.percentile(99),
-            write_p95_latency=self._write_latencies.percentile(95),
-            write_p99_latency=self._write_latencies.percentile(99),
+            read_p95_latency=read_p95,
+            read_p99_latency=read_p99,
+            write_p95_latency=write_p95,
+            write_p99_latency=write_p99,
             failure_fraction=failure_fraction,
             mean_utilization=mean_util,
             max_utilization=max_util,

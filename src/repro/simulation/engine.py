@@ -18,10 +18,19 @@ Typical usage::
 from __future__ import annotations
 
 import math
+from heapq import heappush
+from sys import maxsize
 from typing import Any, Callable, Optional
 
 from .errors import SchedulingError, SimulationStateError
-from .events import PRIORITY_CONTROL, PRIORITY_LATE, PRIORITY_NORMAL, EventHandle, EventQueue
+from .events import (
+    PRIORITY_CONTROL,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    Event,
+    EventHandle,
+    EventQueue,
+)
 from .randomness import RandomStreams
 
 __all__ = ["Simulator", "PeriodicTask"]
@@ -176,7 +185,7 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
         if self._stopped:
             raise SimulationStateError("cannot schedule events on a stopped simulator")
-        if math.isnan(time) or math.isinf(time):
+        if not math.isfinite(time):
             raise SchedulingError(f"event time must be finite, got {time}")
         if time < self._now:
             raise SchedulingError(
@@ -192,12 +201,28 @@ class Simulator:
         priority: int = PRIORITY_NORMAL,
         label: Optional[str] = None,
     ) -> EventHandle:
-        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` ``delay`` seconds from now.
+
+        This is the kernel's hottest entry point — every arrival, replica
+        hop, timeout and metric flush comes through here — so it is the one
+        deliberate inline of :meth:`EventQueue.push`'s body: each avoided
+        Python frame is measurable at millions of events.  Keep the two in
+        sync (``tests/test_simulation_events.py`` exercises both paths).
+        """
         if delay < 0.0:
             raise SchedulingError(f"delay must be >= 0, got {delay}")
-        return self.schedule(
-            self._now + delay, callback, *args, priority=priority, label=label
-        )
+        if self._stopped:
+            raise SimulationStateError("cannot schedule events on a stopped simulator")
+        time = self._now + delay
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time}")
+        queue = self._queue
+        sequence = queue._sequence
+        queue._sequence = sequence + 1
+        queue._scheduled += 1
+        event = Event(time, priority, sequence, callback, args, False, label)
+        heappush(queue._heap, (time, priority, sequence, event))
+        return EventHandle(event)
 
     def call_every(
         self,
@@ -237,8 +262,9 @@ class Simulator:
             )
         self._now = event.time
         self._events_processed += 1
-        for hook in self._trace_hooks:
-            hook(self._now, event.label)
+        if self._trace_hooks:
+            for hook in self._trace_hooks:
+                hook(self._now, event.label)
         event.callback(*event.args)
         return True
 
@@ -257,15 +283,37 @@ class Simulator:
             raise SimulationStateError("run_until is not reentrant")
         self._running = True
         executed = 0
+        # Hot loop: a single queue probe per event (``pop_due`` discards
+        # cancelled heads exactly once, where ``peek_time`` + ``step`` each
+        # rescanned them) and hoisted attribute lookups.  ``_trace_hooks`` is
+        # aliased, not copied, so hooks registered mid-run still fire.
+        pop_due = self._queue.pop_due
+        hooks = self._trace_hooks
+        # ``sys.maxsize`` rather than ``math.inf`` as the no-budget sentinel:
+        # an int/int comparison per event is measurably cheaper here than
+        # int/float, and no run can execute that many events.
+        limit = maxsize if max_events is None else max_events
         try:
-            while True:
-                if max_events is not None and executed >= max_events:
+            while executed < limit:
+                event = pop_due(end_time)
+                if event is None:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > end_time:
-                    break
-                self.step()
+                time = event.time
+                if time < self._now:
+                    # Same guard as step(): reachable when a max_events stop
+                    # advanced the clock past still-pending events; fail loud
+                    # rather than silently rewinding the timeline.
+                    raise SimulationStateError(
+                        f"event queue returned an event in the past "
+                        f"({time} < {self._now})"
+                    )
+                self._now = time
+                self._events_processed += 1
                 executed += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(self._now, event.label)
+                event.callback(*event.args)
         finally:
             self._running = False
         self._now = max(self._now, end_time)

@@ -16,10 +16,10 @@ more traffic").  The :class:`NetworkModel` therefore exposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
 
 from .engine import Simulator
-from .randomness import lognormal_from_mean_cv
+from .randomness import LognormalSampler
 
 __all__ = ["NetworkConfig", "NetworkModel"]
 
@@ -65,6 +65,12 @@ class NetworkModel:
         self._messages_sent = 0
         self._messages_dropped = 0
         self._external_load_factor = 1.0
+        # Per-message hot-path caches: the jitter sampler memoises the
+        # CV/mean-derived lognormal constants (the mean only changes when the
+        # congestion factor does), and event labels are rendered once per
+        # (source, destination) pair instead of per message.
+        self._jitter = LognormalSampler(self._config.jitter_cv)
+        self._labels: Dict[Tuple[str, str], str] = {}
 
     @property
     def config(self) -> NetworkConfig:
@@ -143,7 +149,7 @@ class NetworkModel:
         """Draw a one-way latency sample, including congestion effects."""
         base = self._config.client_latency if client_facing else self._config.base_latency
         mean = base * self._congestion_factor
-        return lognormal_from_mean_cv(self._rng, mean, self._config.jitter_cv)
+        return self._jitter.sample(self._rng, mean)
 
     def send(
         self,
@@ -168,7 +174,12 @@ class NetworkModel:
                 on_drop()
             return False
         latency = self.sample_latency(client_facing=client_facing)
-        self._simulator.schedule_in(latency, deliver, label=f"net:{source}->{destination}")
+        pair = (source, destination)
+        label = self._labels.get(pair)
+        if label is None:
+            label = f"net:{source}->{destination}"
+            self._labels[pair] = label
+        self._simulator.schedule_in(latency, deliver, label=label)
         return True
 
     def round_trip_estimate(self, client_facing: bool = False) -> float:

@@ -21,14 +21,14 @@ from collections import deque
 
 from .engine import Simulator
 from .errors import ResourceError
-from .randomness import lognormal_from_mean_cv
+from .randomness import LognormalSampler
 
 __all__ = ["QueueingServer", "ServiceRequest", "UtilizationTracker"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ServiceRequest:
-    """A unit of work submitted to a :class:`QueueingServer`."""
+    """A unit of work submitted to a :class:`QueueingServer` (one per request)."""
 
     demand: float
     """Service demand in seconds at nominal (1.0) speed."""
@@ -121,6 +121,11 @@ class QueueingServer:
         self._queue: Deque[ServiceRequest] = deque()
         self._in_service: Optional[ServiceRequest] = None
         self._rng = simulator.streams.stream(f"server:{name}")
+        # Per-request hot-path constants: the demand-noise sampler caches the
+        # CV-derived lognormal constants, and the finish label is rendered
+        # once instead of on every completion.
+        self._noise = LognormalSampler(self._service_cv)
+        self._finish_label = f"server:{name}:finish"
         self.utilization = UtilizationTracker()
         self._completed = 0
         self._total_busy_time = 0.0
@@ -200,7 +205,7 @@ class QueueingServer:
         """Submit a request with the given service demand (seconds at speed 1)."""
         if demand < 0.0:
             raise ResourceError(f"service demand must be >= 0, got {demand}")
-        noisy_demand = lognormal_from_mean_cv(self._rng, demand, self._service_cv)
+        noisy_demand = self._noise.sample(self._rng, demand)
         request = ServiceRequest(
             demand=noisy_demand,
             on_complete=on_complete,
@@ -222,7 +227,7 @@ class QueueingServer:
         self.utilization.mark_busy(now)
         service_time = request.demand / self.effective_rate
         self._simulator.schedule_in(
-            service_time, self._finish, request, label=f"server:{self._name}:finish"
+            service_time, self._finish, request, label=self._finish_label
         )
 
     def _finish(self, request: ServiceRequest) -> None:

@@ -50,6 +50,21 @@ class KeyDistribution(abc.ABC):
     def next_index(self, rng: np.random.Generator) -> int:
         """Draw the index of the record the next operation should touch."""
 
+    def next_indices(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` record indexes in one chunk (dtype ``int64``).
+
+        Subclasses whose draw pattern allows it override this with a
+        vectorised implementation that is bitwise-equal to ``count``
+        successive :meth:`next_index` calls on the same generator (chunked
+        draws on a single-consumer stream; see PERFORMANCE.md).  The default
+        falls back to the scalar path, which is always correct.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return np.fromiter(
+            (self.next_index(rng) for _ in range(count)), dtype=np.int64, count=count
+        )
+
     def grow(self, new_record_count: int) -> None:
         """Extend the key space (called when the workload inserts new records)."""
         if new_record_count > self._record_count:
@@ -65,6 +80,11 @@ class UniformKeys(KeyDistribution):
 
     def next_index(self, rng: np.random.Generator) -> int:
         return int(rng.integers(0, self._record_count))
+
+    def next_indices(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return rng.integers(0, self._record_count, size=count)
 
 
 class ZipfianKeys(KeyDistribution):
@@ -126,6 +146,28 @@ class ZipfianKeys(KeyDistribution):
         rank = int(self._record_count * (self._eta * u - self._eta + 1.0) ** self._alpha)
         return min(rank, self._record_count - 1)
 
+    def _next_ranks(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Vectorised :meth:`_next_rank`: bitwise-equal to ``count`` scalar draws.
+
+        ``rng.random(count)`` fills sequentially with the same doubles the
+        scalar calls would produce, and the elementwise float64 arithmetic
+        matches the scalar C-double arithmetic.  The power-law expression is
+        evaluated for *all* draws (the scalar path early-exits for the two
+        hottest ranks), so its base is clamped to zero there — those lanes
+        are overwritten by the early-exit masks below, and any lane where a
+        negative base survived the masks would have crashed the scalar path
+        too.
+        """
+        u = rng.random(count)
+        uz = u * self._zetan
+        base = self._eta * u - self._eta + 1.0
+        np.maximum(base, 0.0, out=base)
+        ranks = (self._record_count * base**self._alpha).astype(np.int64)
+        np.minimum(ranks, self._record_count - 1, out=ranks)
+        ranks[uz < 1.0 + 0.5**self._theta] = 1
+        ranks[uz < 1.0] = 0
+        return ranks
+
     def next_index(self, rng: np.random.Generator) -> int:
         rank = self._next_rank(rng)
         if not self._scrambled:
@@ -134,6 +176,20 @@ class ZipfianKeys(KeyDistribution):
         value = (rank * 0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03) & 0xFFFFFFFFFFFFFFFF
         value ^= value >> 31
         return int(value % self._record_count)
+
+    def next_indices(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        ranks = self._next_ranks(rng, count)
+        if not self._scrambled:
+            return ranks
+        # Same scramble as the scalar path; uint64 wraparound is the scalar
+        # path's explicit ``& 0xFFFFFFFFFFFFFFFF``.
+        values = ranks.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15) + np.uint64(
+            0xD1B54A32D192ED03
+        )
+        values ^= values >> np.uint64(31)
+        return (values % np.uint64(self._record_count)).astype(np.int64)
 
 
 class LatestKeys(ZipfianKeys):
@@ -145,6 +201,12 @@ class LatestKeys(ZipfianKeys):
     def next_index(self, rng: np.random.Generator) -> int:
         rank = self._next_rank(rng)
         return max(0, self._record_count - 1 - rank)
+
+    def next_indices(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        ranks = self._next_ranks(rng, count)
+        return np.maximum(0, self._record_count - 1 - ranks)
 
 
 class HotspotKeys(KeyDistribution):
@@ -175,6 +237,12 @@ class HotspotKeys(KeyDistribution):
         if self.hot_set_size >= self._record_count:
             return int(rng.integers(0, self._record_count))
         return int(rng.integers(self.hot_set_size, self._record_count))
+
+    # ``next_indices`` deliberately keeps the base-class scalar fallback: each
+    # draw interleaves two draw types (a uniform for the hot/cold decision,
+    # then a bounded integer whose range depends on it), so a chunked variant
+    # cannot consume the generator in the same order and would change the
+    # numbers.  See PERFORMANCE.md.
 
 
 def make_distribution(

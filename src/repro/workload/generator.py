@@ -13,7 +13,7 @@ consistency metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -26,6 +26,51 @@ from .load_shapes import ConstantLoad, LoadShape
 from .operations import OperationMix, READ_HEAVY, RecordSizer
 
 __all__ = ["WorkloadSpec", "WorkloadStats", "WorkloadGenerator"]
+
+
+class _LatencyBuffer:
+    """Append-only float buffer with amortised O(1) growth.
+
+    Replaces the plain Python lists :class:`WorkloadStats` used to keep — a
+    million-operation run re-converted an ever-growing list with
+    ``np.asarray`` on every summary, which made reporting quadratic overall.
+    The buffer stores samples in a numpy array that doubles when full, so
+    :meth:`as_array` is a zero-copy view.  It keeps the small list-like
+    surface (append/len/iter/index) callers relied on.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        self._data = np.empty(max(1, initial_capacity), dtype=np.float64)
+        self._size = 0
+
+    def append(self, value: float) -> None:
+        """Append one sample."""
+        size = self._size
+        data = self._data
+        if size == data.shape[0]:
+            grown = np.empty(size * 2, dtype=np.float64)
+            grown[:size] = data
+            self._data = data = grown
+        data[size] = value
+        self._size = size + 1
+
+    def as_array(self) -> np.ndarray:
+        """Zero-copy ``float64`` view of the samples recorded so far."""
+        return self._data[: self._size]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self):
+        return iter(self.as_array())
+
+    def __getitem__(self, index):
+        return self.as_array()[index]
 
 
 @dataclass
@@ -81,8 +126,8 @@ class WorkloadStats:
         self.writes_completed = 0
         self.reads_failed = 0
         self.writes_failed = 0
-        self.read_latencies: List[float] = []
-        self.write_latencies: List[float] = []
+        self.read_latencies = _LatencyBuffer()
+        self.write_latencies = _LatencyBuffer()
         self.stale_reads = 0
         self.read_latency_series = TimeSeries("read_latency")
         self.write_latency_series = TimeSeries("write_latency")
@@ -129,30 +174,44 @@ class WorkloadStats:
     def latency_percentile(self, q: float, kind: str = "read") -> float:
         """Latency percentile in seconds for ``kind`` in {"read", "write", "all"}."""
         if kind == "read":
-            values = self.read_latencies
+            values = self.read_latencies.as_array()
         elif kind == "write":
-            values = self.write_latencies
+            values = self.write_latencies.as_array()
         elif kind == "all":
-            values = self.read_latencies + self.write_latencies
+            # One allocation for the combined view instead of copy-concatenating
+            # two Python lists per call.
+            values = np.concatenate(
+                (self.read_latencies.as_array(), self.write_latencies.as_array())
+            )
         else:
             raise ValueError(f"unknown latency kind {kind!r}")
-        if not values:
+        if values.shape[0] == 0:
             return 0.0
-        return float(np.percentile(np.asarray(values, dtype=float), q))
+        return float(np.percentile(values, q))
 
     def summary(self) -> Dict[str, float]:
         """Headline figures for experiment tables."""
+        reads = self.read_latencies.as_array()
+        writes = self.write_latencies.as_array()
+        # One three-quantile call per side instead of one array conversion
+        # per statistic; values are identical to per-quantile calls.
+        read_p50, read_p95, read_p99 = (
+            np.percentile(reads, (50, 95, 99)) if reads.shape[0] else (0.0, 0.0, 0.0)
+        )
+        write_p50, write_p95, write_p99 = (
+            np.percentile(writes, (50, 95, 99)) if writes.shape[0] else (0.0, 0.0, 0.0)
+        )
         return {
             "operations_issued": float(self.operations_issued),
             "operations_completed": float(self.operations_completed),
             "failure_fraction": self.failure_fraction,
             "stale_reads": float(self.stale_reads),
-            "read_p50_ms": self.latency_percentile(50, "read") * 1000.0,
-            "read_p95_ms": self.latency_percentile(95, "read") * 1000.0,
-            "read_p99_ms": self.latency_percentile(99, "read") * 1000.0,
-            "write_p50_ms": self.latency_percentile(50, "write") * 1000.0,
-            "write_p95_ms": self.latency_percentile(95, "write") * 1000.0,
-            "write_p99_ms": self.latency_percentile(99, "write") * 1000.0,
+            "read_p50_ms": float(read_p50) * 1000.0,
+            "read_p95_ms": float(read_p95) * 1000.0,
+            "read_p99_ms": float(read_p99) * 1000.0,
+            "write_p50_ms": float(write_p50) * 1000.0,
+            "write_p95_ms": float(write_p95) * 1000.0,
+            "write_p99_ms": float(write_p99) * 1000.0,
         }
 
 
@@ -178,6 +237,10 @@ class WorkloadGenerator:
         self._next_record_index = self.spec.record_count
         self.stats = WorkloadStats()
         self._rate_sample_accumulator = 0
+        # Hot-path constants: the arrival label and key prefix used to be
+        # re-rendered on every single operation.
+        self._arrival_label = f"{name}:arrival"
+        self._key_prefix = self.spec.key_prefix
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -187,11 +250,16 @@ class WorkloadGenerator:
         if not self.spec.preload:
             return 0
         count = int(self.spec.record_count * self.spec.preload_fraction)
+        # Sizes are the only draws on the workload stream during preload, so
+        # the whole batch is drawn in one chunk — bitwise-equal to the old
+        # per-record loop (single-consumer stream; see PERFORMANCE.md).
+        drawn = self._sizer.next_sizes(self._rng, count).tolist()
+        key_for = self._distribution.key_for
+        prefix = self._key_prefix
         items: Dict[str, bytes] = {}
         sizes: Dict[str, int] = {}
-        for index in range(count):
-            key = self._distribution.key_for(index, self.spec.key_prefix)
-            size = self._sizer.next_size(self._rng)
+        for index, size in enumerate(drawn):
+            key = key_for(index, prefix)
             items[key] = b"\x00" * min(size, 64)
             sizes[key] = size
         return self._cluster.preload(items, sizes)
@@ -225,7 +293,7 @@ class WorkloadGenerator:
             return
         rate = self.current_rate()
         gap = float(self._rng.exponential(1.0 / rate))
-        self._simulator.schedule_in(gap, self._arrival, label=f"{self.name}:arrival")
+        self._simulator.schedule_in(gap, self._arrival, label=self._arrival_label)
 
     def _arrival(self) -> None:
         if not self._running:
@@ -234,27 +302,30 @@ class WorkloadGenerator:
         self._schedule_next_arrival()
 
     def _issue_one(self) -> None:
-        kind = self._mix.choose(self._rng)
+        rng = self._rng
+        distribution = self._distribution
+        stats = self.stats
+        kind = self._mix.choose(rng)
         if kind == "read":
-            index = self._distribution.next_index(self._rng)
-            key = self._distribution.key_for(index, self.spec.key_prefix)
-            self.stats.reads_issued += 1
-            self._cluster.read(key, on_complete=self.stats.record_read)
+            index = distribution.next_index(rng)
+            key = distribution.key_for(index, self._key_prefix)
+            stats.reads_issued += 1
+            self._cluster.read(key, on_complete=stats.record_read)
             return
         if kind == "insert":
             index = self._next_record_index
             self._next_record_index += 1
-            self._distribution.grow(self._next_record_index)
+            distribution.grow(self._next_record_index)
         else:
-            index = self._distribution.next_index(self._rng)
-        key = self._distribution.key_for(index, self.spec.key_prefix)
-        size = self._sizer.next_size(self._rng)
-        self.stats.writes_issued += 1
+            index = distribution.next_index(rng)
+        key = distribution.key_for(index, self._key_prefix)
+        size = self._sizer.next_size(rng)
+        stats.writes_issued += 1
         self._cluster.write(
             key,
             value=b"\x00" * min(size, 64),
             size=size,
-            on_complete=self.stats.record_write,
+            on_complete=stats.record_write,
         )
 
     def _sample_offered_rate(self) -> None:

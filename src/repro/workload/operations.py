@@ -13,6 +13,8 @@ from typing import Dict
 
 import numpy as np
 
+from ..simulation.randomness import LognormalSampler
+
 __all__ = ["OperationMix", "RecordSizer", "READ_HEAVY", "BALANCED", "WRITE_HEAVY", "READ_ONLY"]
 
 
@@ -89,6 +91,9 @@ class RecordSizer:
         self._cv = max(0.0, float(cv))
         self._min = int(min_size)
         self._max = int(max_size)
+        # The sampler caches the CV-derived lognormal constants once for the
+        # sizer's lifetime; draws stay bit-identical to the per-call path.
+        self._sampler = LognormalSampler(self._cv)
 
     @property
     def mean_size(self) -> float:
@@ -97,10 +102,16 @@ class RecordSizer:
 
     def next_size(self, rng: np.random.Generator) -> int:
         """Draw one payload size in bytes."""
-        if self._cv <= 0.0:
-            size = self._mean
-        else:
-            sigma2 = np.log(1.0 + self._cv * self._cv)
-            mu = np.log(self._mean) - sigma2 / 2.0
-            size = rng.lognormal(mean=mu, sigma=np.sqrt(sigma2))
+        size = self._sampler.sample(rng, self._mean)
         return int(min(self._max, max(self._min, size)))
+
+    def next_sizes(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` payload sizes in one chunk (dtype ``int64``).
+
+        Bitwise-equal to ``count`` successive :meth:`next_size` calls on the
+        same generator — only safe when no other draw type interleaves on
+        that generator (single-consumer stream; see PERFORMANCE.md).  Used by
+        the workload preload, where sizes are the only draws.
+        """
+        sizes = self._sampler.sample_many(rng, self._mean, count)
+        return np.clip(sizes, self._min, self._max).astype(np.int64)

@@ -194,6 +194,7 @@ def test_controller_runs_rounds_and_records_observations():
     assert controller.summary()["rounds"] == 10.0
 
 
+@pytest.mark.slow
 def test_controller_scales_out_under_overload():
     shape = StepLoad(before_rate=40.0, after_rate=220.0, step_time=100.0)
     simulator, cluster, controller, _workload = build_controlled_system(
@@ -204,6 +205,7 @@ def test_controller_scales_out_under_overload():
     assert controller.summary()["scale_out_actions"] >= 1.0
 
 
+@pytest.mark.slow
 def test_controller_static_policy_never_changes_topology():
     simulator, cluster, controller, _workload = build_controlled_system(
         seed=3, policy="static", rate=150.0
@@ -226,6 +228,7 @@ def test_controller_stop_and_manual_round():
     assert controller.rounds == rounds + 1
 
 
+@pytest.mark.slow
 def test_controller_on_action_callback_and_estimators():
     outcomes = []
     simulator = Simulator(seed=5)

@@ -15,6 +15,7 @@ def test_experiment_registry_is_complete():
         assert hasattr(module, "run")
 
 
+@pytest.mark.slow
 def test_e1_small_grid_produces_expected_rows():
     result = e1_parameter_study.run(
         seed=9,

@@ -86,6 +86,7 @@ def test_piggyback_monitor_sees_stale_reads_without_extra_load():
     assert len(piggyback.estimates()) == 12
 
 
+@pytest.mark.slow
 def test_rtt_estimator_scales_with_utilisation():
     simulator = Simulator(seed=5)
     cluster = make_cluster(simulator, ops_capacity=150.0)

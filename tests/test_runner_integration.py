@@ -70,6 +70,7 @@ def test_simulation_run_can_only_be_called_once():
         simulation.run()
 
 
+@pytest.mark.slow
 def test_controller_policy_changes_cluster_size_under_step_load():
     config = small_config(seed=3, duration=500.0, policy="reactive_threshold", capacity=120.0)
     config.workload.load_shape = StepLoad(before_rate=40.0, after_rate=200.0, step_time=120.0)
@@ -81,6 +82,7 @@ def test_controller_policy_changes_cluster_size_under_step_load():
     assert report.cost.node_hours > 3 * 500.0 / 3600.0
 
 
+@pytest.mark.slow
 def test_sla_driven_beats_static_on_violations_under_stress():
     static = Simulation(small_config(seed=5, duration=420.0, rate=170.0, policy="static")).run()
     adaptive = Simulation(
