@@ -9,6 +9,14 @@ Two subcommands cover the common workflows without writing any Python:
 
         python -m repro.cli run --policy sla_driven --duration 600 --rate 140
 
+    Scenario variants can reshape the request path declaratively: pass an
+    ordered middleware list and, when the ``consistency-override`` stage is
+    included, per-operation consistency levels::
+
+        python -m repro.cli run \
+            --middleware replica-selection,consistency,consistency-override,hinted-handoff,read-repair,staleness,monitoring-hooks \
+            --consistency-override read=ONE --consistency-override update=QUORUM
+
 ``experiment``
     Run one of the E1–E6 experiments (or ``all``) and print its regenerated
     tables::
@@ -30,9 +38,10 @@ from .cluster.cluster import ClusterConfig
 from .cluster.node import NodeConfig
 from .cluster.types import ConsistencyLevel
 from .core.controller import ControllerConfig
+from .middleware import CONSISTENCY_OVERRIDE_PIPELINE, available_middlewares
 from .experiments import EXPERIMENTS, run_all_experiments
 from .runner import Simulation, SimulationConfig
-from .workload.generator import WorkloadSpec
+from .workload.generator import CONSISTENCY_OVERRIDE_KINDS, WorkloadSpec
 from .workload.load_shapes import ConstantLoad, DiurnalLoad, FlashCrowdLoad
 from .workload.operations import BALANCED, READ_HEAVY, WRITE_HEAVY
 
@@ -67,6 +76,28 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--write-consistency", choices=[level.value for level in ConsistencyLevel], default="ONE"
     )
+    run_parser.add_argument(
+        "--middleware",
+        type=str,
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=(
+            "ordered request-pipeline middleware names "
+            f"(default: the built-in stack; available: {', '.join(available_middlewares())})"
+        ),
+    )
+    run_parser.add_argument(
+        "--consistency-override",
+        action="append",
+        default=None,
+        metavar="KIND=LEVEL",
+        help=(
+            "per-operation consistency override (KIND in read/update/insert, "
+            "LEVEL a consistency level); repeatable; implies the "
+            "consistency-override pipeline unless --middleware names one "
+            "explicitly (which must then include consistency-override)"
+        ),
+    )
     run_parser.add_argument("--json", action="store_true", help="print the full report as JSON")
 
     experiment_parser = subparsers.add_parser("experiment", help="run an E1-E6 experiment")
@@ -95,8 +126,48 @@ def _build_load_shape(args: argparse.Namespace):
     )
 
 
+def _parse_middleware(value: Optional[str]) -> Optional[tuple]:
+    if not value:
+        return None
+    return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
+def _parse_consistency_overrides(entries: Optional[Sequence[str]]):
+    overrides = {}
+    for entry in entries or ():
+        kind, separator, level = entry.partition("=")
+        kind = kind.strip().lower()
+        if not separator or kind not in CONSISTENCY_OVERRIDE_KINDS:
+            raise SystemExit(
+                f"invalid --consistency-override {entry!r}; expected KIND=LEVEL "
+                f"with KIND in {'/'.join(CONSISTENCY_OVERRIDE_KINDS)}"
+            )
+        try:
+            overrides[kind] = ConsistencyLevel(level.strip().upper())
+        except ValueError:
+            valid = ", ".join(item.value for item in ConsistencyLevel)
+            raise SystemExit(
+                f"invalid consistency level {level.strip()!r}; expected one of {valid}"
+            )
+    return overrides
+
+
 def build_simulation_config(args: argparse.Namespace) -> SimulationConfig:
     """Translate parsed ``run`` arguments into a :class:`SimulationConfig`."""
+    middleware = _parse_middleware(getattr(args, "middleware", None))
+    overrides = _parse_consistency_overrides(
+        getattr(args, "consistency_override", None)
+    )
+    if overrides:
+        if middleware is None:
+            # Overrides only act through the consistency-override stage;
+            # asking for them implies the pipeline that honours them.
+            middleware = CONSISTENCY_OVERRIDE_PIPELINE
+        elif "consistency-override" not in middleware:
+            raise SystemExit(
+                "--consistency-override requires the consistency-override "
+                "middleware; add it to --middleware or drop the flag"
+            )
     return SimulationConfig(
         seed=args.seed,
         duration=args.duration,
@@ -111,8 +182,10 @@ def build_simulation_config(args: argparse.Namespace) -> SimulationConfig:
             record_count=5_000,
             operation_mix=_MIXES[args.mix],
             load_shape=_build_load_shape(args),
+            consistency_overrides=overrides,
         ),
         controller=ControllerConfig(policy=args.policy),
+        middleware=middleware,
         label=f"cli-{args.policy}",
     )
 

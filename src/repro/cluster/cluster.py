@@ -22,6 +22,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..middleware import (
+    DEFAULT_REQUEST_PIPELINE,
+    MiddlewareBuildContext,
+    MiddlewarePipeline,
+    build_pipeline,
+    is_registered,
+)
 from ..simulation.engine import Simulator
 from ..simulation.network import NetworkConfig, NetworkModel
 from .anti_entropy import AntiEntropyConfig, AntiEntropyService
@@ -59,10 +66,31 @@ class ClusterConfig:
     max_nodes: int = 32
     min_nodes: int = 1
 
+    middleware: Optional[Sequence[str]] = None
+    """Ordered request-pipeline middleware names (``None`` = the default
+    stack, which reproduces the classic coordinator bit-identically)."""
+
+    middleware_params: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    """Per-middleware construction parameters, keyed by middleware name."""
+
+    def pipeline_names(self) -> Tuple[str, ...]:
+        """The middleware names this configuration resolves to."""
+        if self.middleware is None:
+            return DEFAULT_REQUEST_PIPELINE
+        return tuple(self.middleware)
+
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for inconsistent settings."""
         if self.initial_nodes < 1:
             raise ConfigurationError("initial_nodes must be >= 1")
+        unknown = [name for name in self.pipeline_names() if not is_registered(name)]
+        if unknown:
+            raise ConfigurationError(
+                "unknown middleware name(s) "
+                + ", ".join(repr(name) for name in unknown)
+                + "; register them with repro.middleware.register_middleware "
+                "before building the cluster"
+            )
         if self.replication_factor < 1:
             raise ConfigurationError("replication_factor must be >= 1")
         if self.replication_factor > self.initial_nodes:
@@ -160,6 +188,17 @@ class Cluster:
             deliver=self._deliver_background_write,
         )
         self.streamer = DataStreamer(simulator, self.network, self.config.streaming)
+
+        # Build the request pipeline from the registry now that every service
+        # a middleware may bind to (handoff, repair, coordinator) exists.
+        self.pipeline: MiddlewarePipeline = build_pipeline(
+            self.config.pipeline_names(),
+            MiddlewareBuildContext(
+                simulator=simulator, cluster=self, coordinator=self.coordinator
+            ),
+            params=self.config.middleware_params,
+        )
+        self.coordinator.set_pipeline(self.pipeline)
 
         for _ in range(self.config.initial_nodes):
             self._create_node(initial=True)
@@ -291,8 +330,14 @@ class Cluster:
         consistency_level: Optional[ConsistencyLevel] = None,
         operation: OperationType = OperationType.WRITE,
         size: Optional[int] = None,
+        hints: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Issue a client write; the result is delivered to ``on_complete``."""
+        """Issue a client write; the result is delivered to ``on_complete``.
+
+        ``hints`` are per-request annotations the middleware pipeline may act
+        on (e.g. a consistency-level override); without a middleware that
+        reads them they are carried but ignored.
+        """
         level = consistency_level or self._write_consistency
         coordinator_id = self._pick_coordinator()
         callback = on_complete or (lambda result: None)
@@ -318,7 +363,7 @@ class Cluster:
             on_complete=callback,
             operation=operation,
             size=size,
-            store_hint=self.hinted_handoff.store,
+            hints=hints,
         )
 
     def read(
@@ -327,8 +372,13 @@ class Cluster:
         on_complete: Optional[Callable[[ReadResult], None]] = None,
         consistency_level: Optional[ConsistencyLevel] = None,
         operation: OperationType = OperationType.READ,
+        hints: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Issue a client read; the result is delivered to ``on_complete``."""
+        """Issue a client read; the result is delivered to ``on_complete``.
+
+        ``hints`` are per-request annotations for the middleware pipeline
+        (see :meth:`write`).
+        """
         level = consistency_level or self._read_consistency
         coordinator_id = self._pick_coordinator()
         callback = on_complete or (lambda result: None)
@@ -352,7 +402,7 @@ class Cluster:
             level,
             on_complete=callback,
             operation=operation,
-            inspect_responses=self.read_repairer.inspect,
+            hints=hints,
         )
 
     def preload(self, items: Dict[str, bytes], sizes: Optional[Dict[str, int]] = None) -> int:
@@ -754,4 +804,5 @@ class Cluster:
             "replication_factor": self._replication_factor,
             "read_consistency": self._read_consistency.value,
             "write_consistency": self._write_consistency.value,
+            "middleware": list(self.pipeline.names()),
         }

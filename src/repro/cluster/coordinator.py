@@ -10,6 +10,15 @@ apply the update asynchronously — the gap between the client acknowledgement
 and the last replica apply **is** the inconsistency window the paper is
 about.
 
+The request path itself is composable: every policy decision on it (replica
+selection, quorum accounting, hinted handoff, read repair, staleness
+observation, monitoring hooks) is delegated to a
+:class:`~repro.middleware.base.MiddlewarePipeline` the coordinator executes.
+The coordinator owns the *mechanics* — version stamping, fan-out, timeout and
+ack bookkeeping — while the pipeline owns the *policy*; the default stack
+reproduces the classic hardcoded behaviour bit-identically (see
+ARCHITECTURE.md and tests/test_seed_identity.py).
+
 The coordinator reports three kinds of events to the cluster's listeners:
 
 * ``on_write_acked(key, stamp, ack_time, replica_set)`` — a write became
@@ -17,14 +26,17 @@ The coordinator reports three kinds of events to the cluster's listeners:
 * ``on_replica_applied(key, stamp, node_id, time, background)`` — a replica
   applied a version (foreground, hint replay, repair or stream).
 * ``on_operation_completed(result)`` — a read or write finished (successfully
-  or not) from the client's point of view.
+  or not) from the client's point of view; fired by the pipeline's
+  ``monitoring-hooks`` stage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from ..middleware.base import MiddlewarePipeline, RequestContext
+from ..middleware.builtin import default_coordinator_pipeline
 from ..simulation.engine import Simulator
 from ..simulation.events import EventHandle
 from ..simulation.network import NetworkModel
@@ -98,6 +110,7 @@ class _WriteContext:
     """In-flight state of one coordinated write (slotted: one per request)."""
 
     result: WriteResult
+    request: RequestContext
     required_acks: int
     acks: int = 0
     completed: bool = False
@@ -110,6 +123,7 @@ class _ReadContext:
     """In-flight state of one coordinated read (slotted: one per request)."""
 
     result: ReadResult
+    request: RequestContext
     required_responses: int
     responses: List[ReplicaReadResponse] = field(default_factory=list)
     completed: bool = False
@@ -118,7 +132,7 @@ class _ReadContext:
 
 
 class RequestCoordinator:
-    """Executes reads and writes on behalf of clients."""
+    """Executes reads and writes on behalf of clients through the pipeline."""
 
     def __init__(
         self,
@@ -128,6 +142,7 @@ class RequestCoordinator:
         nodes: Dict[str, StorageNode],
         membership: MembershipService,
         config: Optional[CoordinatorConfig] = None,
+        pipeline: Optional[MiddlewarePipeline] = None,
     ) -> None:
         self._simulator = simulator
         self._network = network
@@ -140,7 +155,6 @@ class RequestCoordinator:
         # path taken once per write.
         self._sequence = 0
         self._write_ids = 0
-        self._rng = simulator.streams.stream("coordinator")
         self.acked_registry = AckedVersionRegistry()
 
         # Listener hooks, bound by the Cluster facade.
@@ -151,6 +165,12 @@ class RequestCoordinator:
             Callable[[str, VersionStamp, str, float, bool], None]
         ] = None
         self.on_operation_completed: Optional[Callable[[object], None]] = None
+
+        # The request pipeline.  A standalone coordinator (tests, tools) gets
+        # the default selection/consistency/staleness/monitoring stack; the
+        # Cluster facade replaces it with the registry-built one before any
+        # request flows.
+        self._pipeline = pipeline or default_coordinator_pipeline(self)
 
         # Counters used by reports and tests.
         self.writes_started = 0
@@ -165,6 +185,20 @@ class RequestCoordinator:
     def config(self) -> CoordinatorConfig:
         """Coordinator configuration in effect."""
         return self._config
+
+    @property
+    def simulator(self) -> Simulator:
+        """The simulation kernel this coordinator schedules on."""
+        return self._simulator
+
+    @property
+    def pipeline(self) -> MiddlewarePipeline:
+        """The request pipeline in effect."""
+        return self._pipeline
+
+    def set_pipeline(self, pipeline: MiddlewarePipeline) -> None:
+        """Install a request pipeline (done once by the cluster facade)."""
+        self._pipeline = pipeline
 
     def next_sequence(self) -> int:
         """Allocate the next version-stamp sequence number."""
@@ -191,7 +225,12 @@ class RequestCoordinator:
         if self.on_replica_applied is not None:
             self.on_replica_applied(key, stamp, node_id, time, background)
 
-    def _notify_completed(self, result: object) -> None:
+    def notify_completed(self, result: object) -> None:
+        """Forward a completed operation to the cluster's listeners.
+
+        Called by the pipeline's ``monitoring-hooks`` stage; pipelines that
+        drop that stage silence the passive-monitoring feed.
+        """
         if self.on_operation_completed is not None:
             self.on_operation_completed(result)
 
@@ -208,11 +247,22 @@ class RequestCoordinator:
         on_complete: Callable[[WriteResult], None],
         operation: OperationType = OperationType.WRITE,
         size: Optional[int] = None,
-        store_hint: Optional[Callable[[str, str, VersionedValue], None]] = None,
+        hints: Optional[Mapping[str, object]] = None,
     ) -> None:
         """Coordinate one write; ``on_complete`` receives the client-visible result."""
         self.writes_started += 1
         issued_at = self._simulator.now
+        request = RequestContext(
+            key=key,
+            operation=operation,
+            is_read=False,
+            coordinator_id=coordinator_id,
+            replication_factor=replication_factor,
+            requested_level=consistency_level,
+            consistency_level=consistency_level,
+            hints=hints,
+        )
+        self._pipeline.on_request(request)
         result = WriteResult(
             key=key,
             operation=operation,
@@ -220,21 +270,18 @@ class RequestCoordinator:
             completed_at=issued_at,
             success=False,
             coordinator=coordinator_id,
-            consistency_level=consistency_level,
+            consistency_level=request.consistency_level,
         )
-        context = _WriteContext(result=result, required_acks=1, on_complete=on_complete)
+        request.result = result
+        context = _WriteContext(
+            result=result, request=request, required_acks=1, on_complete=on_complete
+        )
+        if request.rejection is not None:
+            self._fail_write(context, request.rejection)
+            return
 
         def _start() -> None:
-            self._start_write(
-                context,
-                key,
-                value,
-                coordinator_id,
-                replication_factor,
-                consistency_level,
-                size,
-                store_hint,
-            )
+            self._start_write(context, key, value, coordinator_id, size)
 
         delivered = self._network.send(
             _CLIENT, coordinator_id, _start, client_facing=True
@@ -248,16 +295,14 @@ class RequestCoordinator:
         key: str,
         value: bytes,
         coordinator_id: str,
-        replication_factor: int,
-        consistency_level: ConsistencyLevel,
         size: Optional[int],
-        store_hint: Optional[Callable[[str, str, VersionedValue], None]],
     ) -> None:
         coordinator = self._nodes.get(coordinator_id)
         if coordinator is None or not coordinator.serves_requests:
             self._fail_write(context, "coordinator down")
             return
 
+        request = context.request
         now = self._simulator.now
         self._write_ids += 1
         stamp = VersionStamp(timestamp=now, sequence=self.next_sequence())
@@ -269,12 +314,12 @@ class RequestCoordinator:
         )
         context.result.version_timestamp = stamp.timestamp
 
-        preference_list = self._ring.preference_list(key, replication_factor)
+        preference_list = self._ring.preference_list(key, request.replication_factor)
         if not preference_list:
             self._fail_write(context, "no replicas available")
             return
         effective_rf = len(preference_list)
-        required = consistency_level.required_acks(effective_rf)
+        required = self._pipeline.required_acks(request, effective_rf)
         context.required_acks = required
         context.result.replicas_contacted = effective_rf
 
@@ -297,15 +342,12 @@ class RequestCoordinator:
             return
 
         for node_id in unreachable:
-            if store_hint is not None:
-                store_hint(node_id, key, version)
+            if self._pipeline.on_unreachable_replica(request, node_id, version):
                 context.result.hinted += 1
                 self.hinted_writes += 1
 
         for node_id in live:
-            self._send_replica_write(
-                context, coordinator_id, node_id, key, version, store_hint
-            )
+            self._send_replica_write(context, coordinator_id, node_id, key, version)
 
         context.timeout_handle = self._simulator.schedule_in(
             self._config.operation_timeout,
@@ -321,7 +363,6 @@ class RequestCoordinator:
         node_id: str,
         key: str,
         version: VersionedValue,
-        store_hint: Optional[Callable[[str, str, VersionedValue], None]],
     ) -> None:
         node = self._nodes[node_id]
 
@@ -335,8 +376,7 @@ class RequestCoordinator:
             )
 
         def _dropped() -> None:
-            if store_hint is not None:
-                store_hint(node_id, key, version)
+            if self._pipeline.on_unreachable_replica(context.request, node_id, version):
                 context.result.hinted += 1
                 self.hinted_writes += 1
 
@@ -416,7 +456,7 @@ class RequestCoordinator:
         self._finish_write(context)
 
     def _finish_write(self, context: _WriteContext) -> None:
-        self._notify_completed(context.result)
+        self._pipeline.on_complete(context.request, context.result)
         if context.on_complete is not None:
             context.on_complete(context.result)
 
@@ -431,13 +471,22 @@ class RequestCoordinator:
         consistency_level: ConsistencyLevel,
         on_complete: Callable[[ReadResult], None],
         operation: OperationType = OperationType.READ,
-        inspect_responses: Optional[
-            Callable[[str, Sequence[ReplicaReadResponse]], bool]
-        ] = None,
+        hints: Optional[Mapping[str, object]] = None,
     ) -> None:
         """Coordinate one read; ``on_complete`` receives the client-visible result."""
         self.reads_started += 1
         issued_at = self._simulator.now
+        request = RequestContext(
+            key=key,
+            operation=operation,
+            is_read=True,
+            coordinator_id=coordinator_id,
+            replication_factor=replication_factor,
+            requested_level=consistency_level,
+            consistency_level=consistency_level,
+            hints=hints,
+        )
+        self._pipeline.on_request(request)
         result = ReadResult(
             key=key,
             operation=operation,
@@ -445,19 +494,18 @@ class RequestCoordinator:
             completed_at=issued_at,
             success=False,
             coordinator=coordinator_id,
-            consistency_level=consistency_level,
+            consistency_level=request.consistency_level,
         )
-        context = _ReadContext(result=result, required_responses=1, on_complete=on_complete)
+        request.result = result
+        context = _ReadContext(
+            result=result, request=request, required_responses=1, on_complete=on_complete
+        )
+        if request.rejection is not None:
+            self._fail_read(context, request.rejection)
+            return
 
         def _start() -> None:
-            self._start_read(
-                context,
-                key,
-                coordinator_id,
-                replication_factor,
-                consistency_level,
-                inspect_responses,
-            )
+            self._start_read(context, key, coordinator_id)
 
         delivered = self._network.send(
             _CLIENT, coordinator_id, _start, client_facing=True
@@ -470,23 +518,19 @@ class RequestCoordinator:
         context: _ReadContext,
         key: str,
         coordinator_id: str,
-        replication_factor: int,
-        consistency_level: ConsistencyLevel,
-        inspect_responses: Optional[
-            Callable[[str, Sequence[ReplicaReadResponse]], bool]
-        ],
     ) -> None:
         coordinator = self._nodes.get(coordinator_id)
         if coordinator is None or not coordinator.serves_requests:
             self._fail_read(context, "coordinator down")
             return
 
-        preference_list = self._ring.preference_list(key, replication_factor)
+        request = context.request
+        preference_list = self._ring.preference_list(key, request.replication_factor)
         if not preference_list:
             self._fail_read(context, "no replicas available")
             return
         effective_rf = len(preference_list)
-        required = consistency_level.required_acks(effective_rf)
+        required = self._pipeline.required_acks(request, effective_rf)
 
         live = [
             node_id
@@ -500,22 +544,22 @@ class RequestCoordinator:
             self._fail_read(context, "unavailable: not enough live replicas")
             return
 
-        # Replica selection is load balanced: the coordinator picks a random
-        # subset of the live replicas (a simplification of Cassandra's
-        # dynamic snitch).  This spreads read load and means a CL=ONE read
-        # genuinely samples the replica set, so replica lag is observable.
-        if len(live) > required:
-            order = self._rng.permutation(len(live))
-            targets = [live[int(i)] for i in order[:required]]
-        else:
+        # Replica selection is a pipeline decision (load-balanced random by
+        # default, latency-aware when that middleware is installed); the
+        # deterministic prefix is the fallback when no stage has an opinion.
+        targets = self._pipeline.select_read_targets(request, live, required)
+        if targets is None:
             targets = live[:required]
         context.required_responses = required
         context.result.replicas_contacted = len(targets)
 
+        observe_rtt = self._pipeline.observes_replica_rtt
+        if observe_rtt:
+            request.send_times = {}
         for node_id in targets:
-            self._send_replica_read(
-                context, coordinator_id, node_id, key, inspect_responses
-            )
+            if observe_rtt:
+                request.send_times[node_id] = self._simulator.now
+            self._send_replica_read(context, coordinator_id, node_id, key)
 
         context.timeout_handle = self._simulator.schedule_in(
             self._config.operation_timeout,
@@ -530,9 +574,6 @@ class RequestCoordinator:
         coordinator_id: str,
         node_id: str,
         key: str,
-        inspect_responses: Optional[
-            Callable[[str, Sequence[ReplicaReadResponse]], bool]
-        ],
     ) -> None:
         node = self._nodes[node_id]
 
@@ -540,7 +581,7 @@ class RequestCoordinator:
             node.replica_read(
                 key,
                 on_done=lambda response: self._replica_read_done(
-                    context, coordinator_id, key, response, inspect_responses
+                    context, coordinator_id, key, response
                 ),
             )
 
@@ -552,12 +593,9 @@ class RequestCoordinator:
         coordinator_id: str,
         key: str,
         response: ReplicaReadResponse,
-        inspect_responses: Optional[
-            Callable[[str, Sequence[ReplicaReadResponse]], bool]
-        ],
     ) -> None:
         def _receive() -> None:
-            self._receive_read_response(context, coordinator_id, key, response, inspect_responses)
+            self._receive_read_response(context, coordinator_id, key, response)
 
         self._network.send(response.node_id, coordinator_id, _receive)
 
@@ -567,10 +605,15 @@ class RequestCoordinator:
         coordinator_id: str,
         key: str,
         response: ReplicaReadResponse,
-        inspect_responses: Optional[
-            Callable[[str, Sequence[ReplicaReadResponse]], bool]
-        ],
     ) -> None:
+        request = context.request
+        send_times = request.send_times
+        if send_times is not None:
+            sent_at = send_times.get(response.node_id)
+            if sent_at is not None:
+                self._pipeline.on_replica_response(
+                    request, response.node_id, self._simulator.now - sent_at
+                )
         if context.completed:
             return
         context.responses.append(response)
@@ -587,23 +630,17 @@ class RequestCoordinator:
             if compare_versions(replica_response.version, newest) > 0:
                 newest = replica_response.version
 
-        if inspect_responses is not None:
-            context.result.digest_mismatch = inspect_responses(key, context.responses)
+        mismatch = self._pipeline.inspect_read_responses(request, context.responses)
+        if mismatch is not None:
+            context.result.digest_mismatch = mismatch
 
         if newest is not None:
             context.result.value = newest.value
             context.result.version_timestamp = newest.stamp.timestamp
 
-        # Ground-truth staleness annotation: compare against the newest
-        # version acknowledged to any client before this read was issued.
-        reference = self.acked_registry.newest_acked_before(
-            key, context.result.issued_at
-        )
-        if reference is not None:
-            if newest is None or newest.stamp < reference:
-                context.result.stale = True
-                returned_ts = newest.stamp.timestamp if newest is not None else 0.0
-                context.result.staleness = max(0.0, reference.timestamp - returned_ts)
+        # Ground-truth staleness annotation and any custom result decoration
+        # run as the pipeline's annotation stage.
+        self._pipeline.annotate_read(request, newest)
 
         def _reply() -> None:
             context.result.completed_at = self._simulator.now
@@ -637,7 +674,7 @@ class RequestCoordinator:
         self._finish_read(context)
 
     def _finish_read(self, context: _ReadContext) -> None:
-        self._notify_completed(context.result)
+        self._pipeline.on_complete(context.request, context.result)
         if context.on_complete is not None:
             context.on_complete(context.result)
 

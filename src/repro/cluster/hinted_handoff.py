@@ -102,11 +102,16 @@ class HintedHandoffManager:
         self._deliver = deliver
         self._is_reachable = is_reachable
 
-    def store(self, target_node: str, key: str, version: VersionedValue) -> None:
-        """Store a hint for a replica that could not be reached."""
+    def store(self, target_node: str, key: str, version: VersionedValue) -> bool:
+        """Store a hint for a replica that could not be reached.
+
+        Returns ``True`` when the hint was stored, ``False`` when it was
+        dropped (handoff disabled) — the middleware forwards that verdict so
+        hinted-write counters only count hints that actually exist.
+        """
         if not self._config.enabled:
             self.hints_dropped += 1
-            return
+            return False
         if len(self._hints) >= self._config.max_hints:
             self._hints.pop(0)
             self.hints_dropped += 1
@@ -119,6 +124,7 @@ class HintedHandoffManager:
             )
         )
         self.hints_stored += 1
+        return True
 
     def discard_for_node(self, node_id: str) -> int:
         """Drop all hints targeted at a node (e.g. after decommissioning)."""

@@ -20,7 +20,7 @@ factor) are unaffected by this compression.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..cluster.cluster import ClusterConfig
 from ..cluster.node import NodeConfig
@@ -168,8 +168,13 @@ def build_config(
     evaluation_interval: float = 30.0,
     probe_interval: float = 5.0,
     enable_interference: bool = True,
+    middleware: Optional[Sequence[str]] = None,
 ) -> SimulationConfig:
-    """Assemble a :class:`SimulationConfig` with the experiment defaults."""
+    """Assemble a :class:`SimulationConfig` with the experiment defaults.
+
+    ``middleware`` selects the request-pipeline variant (``None`` keeps the
+    default stack; see :mod:`repro.middleware` for the named alternatives).
+    """
     controller = ControllerConfig(
         policy=policy,
         evaluation_interval=evaluation_interval,
@@ -187,6 +192,7 @@ def build_config(
         controller=controller,
         monitoring=monitoring,
         interference=interference,
+        middleware=middleware,
         label=label,
     )
     return config

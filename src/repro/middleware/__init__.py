@@ -1,0 +1,64 @@
+"""Composable request-path middleware.
+
+The subsystem the paper's architecture implies: every coordinated read and
+write flows through an ordered :class:`MiddlewarePipeline` of
+:class:`RequestMiddleware` stages, built by name from a registry.  The
+default stack (:data:`DEFAULT_REQUEST_PIPELINE`) reproduces the classic
+coordinator bit-identically; scenario variants swap, drop or extend stages
+declaratively (``ClusterConfig.middleware``, ``SimulationConfig.middleware``
+or ``repro.cli run --middleware ...``).
+
+See ARCHITECTURE.md for the layer stack and a custom-middleware walkthrough.
+"""
+
+from .base import MiddlewarePipeline, RequestContext, RequestMiddleware
+from .builtin import (
+    ConsistencyEnforcement,
+    HintedHandoffMiddleware,
+    MonitoringHooks,
+    RandomReplicaSelection,
+    ReadRepairMiddleware,
+    StalenessAnnotation,
+    default_coordinator_pipeline,
+)
+from .latency import LatencyAwareReplicaSelection, NodeRttTracker
+from .overrides import CONSISTENCY_HINT, PerRequestConsistencyOverride
+from .registry import (
+    CONSISTENCY_OVERRIDE_PIPELINE,
+    DEFAULT_REQUEST_PIPELINE,
+    LATENCY_AWARE_PIPELINE,
+    MiddlewareBuildContext,
+    UnknownMiddlewareError,
+    available_middlewares,
+    build_middleware,
+    build_pipeline,
+    is_registered,
+    register_middleware,
+)
+
+__all__ = [
+    "RequestContext",
+    "RequestMiddleware",
+    "MiddlewarePipeline",
+    "MiddlewareBuildContext",
+    "UnknownMiddlewareError",
+    "register_middleware",
+    "build_middleware",
+    "build_pipeline",
+    "available_middlewares",
+    "is_registered",
+    "DEFAULT_REQUEST_PIPELINE",
+    "LATENCY_AWARE_PIPELINE",
+    "CONSISTENCY_OVERRIDE_PIPELINE",
+    "RandomReplicaSelection",
+    "ConsistencyEnforcement",
+    "HintedHandoffMiddleware",
+    "ReadRepairMiddleware",
+    "StalenessAnnotation",
+    "MonitoringHooks",
+    "default_coordinator_pipeline",
+    "LatencyAwareReplicaSelection",
+    "NodeRttTracker",
+    "PerRequestConsistencyOverride",
+    "CONSISTENCY_HINT",
+]

@@ -1,0 +1,278 @@
+"""Request-path middleware protocol and pipeline.
+
+The paper's core claim is that consistency/latency trade-offs belong in
+*middleware on the request path* of a replicated store.  This module turns
+that path into an explicit extension point: a :class:`RequestContext` rides
+along with every coordinated read or write, and an ordered
+:class:`MiddlewarePipeline` of :class:`RequestMiddleware` instances is
+consulted at the well-defined decision points of the request lifecycle —
+
+* ``on_request``          — before fan-out; may rewrite the effective
+  consistency level or reject the request outright (admission control),
+* ``required_acks``       — how many replica acknowledgements the effective
+  consistency level demands (quorum accounting),
+* ``select_read_targets`` — which live replicas a read contacts
+  (load balancing / latency-aware routing),
+* ``on_unreachable_replica`` — a write could not reach a replica
+  (hinted handoff),
+* ``on_replica_response`` — a replica answered a read (per-node RTT
+  observation),
+* ``inspect_read_responses`` — all required responses arrived
+  (digest comparison / read repair),
+* ``annotate_read``       — decorate the client-visible result
+  (ground-truth staleness observation),
+* ``on_complete``         — the operation finished from the client's point
+  of view (piggyback monitoring hooks).
+
+The pipeline pre-computes, per hook, the subset of middlewares that actually
+override it, so a request through the default stack costs a handful of list
+iterations over one-element lists — the coordinator's hot path stays within
+the benchmark regression gate (see PERFORMANCE.md).
+
+The default stack reproduces the previously hardcoded coordinator behaviour
+bit-identically: the same RNG streams are consumed at the same points, no
+events are reordered, and no extra draws happen (tests/test_seed_identity.py
+holds the proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type hints only
+    from ..cluster.types import ConsistencyLevel, OperationResult, OperationType
+
+__all__ = ["RequestContext", "RequestMiddleware", "MiddlewarePipeline"]
+
+
+@dataclass(slots=True)
+class RequestContext:
+    """Per-operation state shared between the coordinator and the pipeline."""
+
+    key: str
+    operation: "OperationType"
+    is_read: bool
+    coordinator_id: Optional[str]
+    replication_factor: int
+    requested_level: "ConsistencyLevel"
+    """The consistency level the caller asked for (never rewritten)."""
+
+    consistency_level: "ConsistencyLevel"
+    """The effective level; ``on_request`` middlewares may rewrite it."""
+
+    hints: Optional[Mapping[str, object]] = None
+    """Caller-supplied per-request hints (e.g. the workload's CL override)."""
+
+    result: Optional["OperationResult"] = None
+    """The client-visible result record, once the coordinator created it."""
+
+    rejection: Optional[str] = None
+    """Set by ``on_request`` to fail the request before fan-out."""
+
+    send_times: Optional[Dict[str, float]] = None
+    """Replica-read dispatch times, kept only when a middleware observes RTTs."""
+
+    def reject(self, reason: str) -> None:
+        """Fail this request before it fans out (admission control)."""
+        self.rejection = reason
+
+
+class RequestMiddleware:
+    """Base class for request-path middlewares; override any subset of hooks.
+
+    Every hook has a no-op default.  The pipeline detects which hooks a
+    subclass actually overrides and only dispatches those, so an unused hook
+    costs nothing per request.
+    """
+
+    #: Registry name; instances report it in pipeline descriptions.
+    name: str = "middleware"
+
+    def on_request(self, ctx: RequestContext) -> None:
+        """Called before fan-out; may rewrite ``ctx.consistency_level`` or reject."""
+
+    def required_acks(self, ctx: RequestContext, effective_rf: int) -> Optional[int]:
+        """Number of replica acks/responses required (``None`` = no opinion)."""
+        return None
+
+    def select_read_targets(
+        self, ctx: RequestContext, live: Sequence[str], required: int
+    ) -> Optional[List[str]]:
+        """Pick the replicas a read contacts (``None`` = no opinion)."""
+        return None
+
+    def on_unreachable_replica(
+        self, ctx: RequestContext, node_id: str, version: object
+    ) -> bool:
+        """A write missed ``node_id``; return ``True`` when handled (hint stored)."""
+        return False
+
+    def on_replica_response(
+        self, ctx: RequestContext, node_id: str, rtt: float
+    ) -> None:
+        """A replica answered a read ``rtt`` seconds after dispatch."""
+
+    def inspect_read_responses(
+        self, ctx: RequestContext, responses: Sequence[object]
+    ) -> Optional[bool]:
+        """Inspect gathered read responses; return digest-mismatch verdict."""
+        return None
+
+    def annotate_read(self, ctx: RequestContext, newest: Optional[object]) -> None:
+        """Decorate the read result (e.g. ground-truth staleness fields)."""
+
+    def on_complete(self, ctx: RequestContext, result: object) -> None:
+        """The operation finished (successfully or not) for the client."""
+
+    def describe(self) -> Dict[str, object]:
+        """One-line description for reports and the CLI."""
+        return {"name": self.name}
+
+
+def _overrides(middleware: RequestMiddleware, hook: str) -> bool:
+    return getattr(type(middleware), hook) is not getattr(RequestMiddleware, hook)
+
+
+class MiddlewarePipeline:
+    """An ordered, immutable stack of request middlewares.
+
+    Dispatch lists are pre-computed per hook at construction time so the
+    per-request cost is proportional to the number of middlewares that
+    actually implement each hook, not to the stack length.
+    """
+
+    __slots__ = (
+        "_middlewares",
+        "_on_request",
+        "_required",
+        "_selectors",
+        "_unreachable",
+        "_responders",
+        "_inspectors",
+        "_annotators",
+        "_completers",
+        "observes_replica_rtt",
+    )
+
+    def __init__(self, middlewares: Sequence[RequestMiddleware] = ()) -> None:
+        self._middlewares: Tuple[RequestMiddleware, ...] = tuple(middlewares)
+        self._on_request = [m for m in self._middlewares if _overrides(m, "on_request")]
+        self._required = [m for m in self._middlewares if _overrides(m, "required_acks")]
+        self._selectors = [
+            m for m in self._middlewares if _overrides(m, "select_read_targets")
+        ]
+        self._unreachable = [
+            m for m in self._middlewares if _overrides(m, "on_unreachable_replica")
+        ]
+        self._responders = [
+            m for m in self._middlewares if _overrides(m, "on_replica_response")
+        ]
+        self._inspectors = [
+            m for m in self._middlewares if _overrides(m, "inspect_read_responses")
+        ]
+        self._annotators = [m for m in self._middlewares if _overrides(m, "annotate_read")]
+        self._completers = [m for m in self._middlewares if _overrides(m, "on_complete")]
+        self.observes_replica_rtt = bool(self._responders)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def middlewares(self) -> Tuple[RequestMiddleware, ...]:
+        """The stack, in execution order."""
+        return self._middlewares
+
+    def names(self) -> Tuple[str, ...]:
+        """Registry names of the stack, in order."""
+        return tuple(m.name for m in self._middlewares)
+
+    def get(self, name: str) -> Optional[RequestMiddleware]:
+        """First middleware with the given registry name (or ``None``)."""
+        for middleware in self._middlewares:
+            if middleware.name == name:
+                return middleware
+        return None
+
+    def describe(self) -> List[Dict[str, object]]:
+        """Per-middleware descriptions, in order."""
+        return [m.describe() for m in self._middlewares]
+
+    def __len__(self) -> int:
+        return len(self._middlewares)
+
+    def __iter__(self):
+        return iter(self._middlewares)
+
+    # ------------------------------------------------------------------
+    # Hook dispatch (hot path)
+    # ------------------------------------------------------------------
+    def on_request(self, ctx: RequestContext) -> None:
+        """Run the ``on_request`` stage (CL rewriting, admission control)."""
+        for middleware in self._on_request:
+            middleware.on_request(ctx)
+
+    def required_acks(self, ctx: RequestContext, effective_rf: int) -> int:
+        """Required acks for this request; the last opinionated middleware wins."""
+        required: Optional[int] = None
+        for middleware in self._required:
+            value = middleware.required_acks(ctx, effective_rf)
+            if value is not None:
+                required = value
+        if required is None:
+            required = ctx.consistency_level.required_acks(effective_rf)
+        return required
+
+    def select_read_targets(
+        self, ctx: RequestContext, live: Sequence[str], required: int
+    ) -> Optional[List[str]]:
+        """Read replica targets; the first opinionated middleware wins."""
+        for middleware in self._selectors:
+            targets = middleware.select_read_targets(ctx, live, required)
+            if targets is not None:
+                return targets
+        return None
+
+    def on_unreachable_replica(
+        self, ctx: RequestContext, node_id: str, version: object
+    ) -> bool:
+        """Offer a missed write to every handler; ``True`` when any stored it."""
+        handled = False
+        for middleware in self._unreachable:
+            if middleware.on_unreachable_replica(ctx, node_id, version):
+                handled = True
+        return handled
+
+    def on_replica_response(self, ctx: RequestContext, node_id: str, rtt: float) -> None:
+        """Report one replica read round-trip to every observer."""
+        for middleware in self._responders:
+            middleware.on_replica_response(ctx, node_id, rtt)
+
+    def inspect_read_responses(
+        self, ctx: RequestContext, responses: Sequence[object]
+    ) -> Optional[bool]:
+        """Run every inspector; mismatch if any reported one (``None`` = no inspectors)."""
+        verdict: Optional[bool] = None
+        for middleware in self._inspectors:
+            value = middleware.inspect_read_responses(ctx, responses)
+            if value is not None:
+                verdict = bool(value) if verdict is None else (verdict or bool(value))
+        return verdict
+
+    def annotate_read(self, ctx: RequestContext, newest: Optional[object]) -> None:
+        """Run the result-annotation stage (staleness observation)."""
+        for middleware in self._annotators:
+            middleware.annotate_read(ctx, newest)
+
+    def on_complete(self, ctx: RequestContext, result: object) -> None:
+        """Run the completion stage (monitoring hooks)."""
+        for middleware in self._completers:
+            middleware.on_complete(ctx, result)

@@ -1,0 +1,198 @@
+"""Latency-aware replica selection (a deterministic dynamic snitch).
+
+The default :class:`~repro.middleware.builtin.RandomReplicaSelection` spreads
+read load uniformly.  Under heterogeneous replicas (interference, congestion,
+a slow node) that wastes the latency budget: the paper's middleware argument
+is exactly that the request path should *adapt* to observed conditions.
+:class:`LatencyAwareReplicaSelection` closes the loop — every replica read
+response updates a per-node EWMA round-trip estimate, and subsequent reads
+prefer the lowest-RTT replicas.
+
+The per-node estimates live in a :class:`NodeRttTracker`, which
+:class:`~repro.monitoring.estimators.RttEstimator` can attach to
+(``attach_node_tracker``) so the model-based estimator's reports expose the
+same per-node RTT view the router acts on.  Nodes without samples fall back
+to the congestion-aware cluster-wide round-trip estimate — the same quantity
+the RTT estimator's window model is built on.
+
+Selection is deterministic (EWMA ordering, node id ties): it draws from no
+RNG stream, so adding it to a pipeline never perturbs other streams
+(PERFORMANCE.md rule 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .base import RequestContext, RequestMiddleware
+from .registry import MiddlewareBuildContext, register_middleware
+
+__all__ = ["NodeRttTracker", "LatencyAwareReplicaSelection"]
+
+
+class NodeRttTracker:
+    """Per-node EWMA round-trip-time estimates fed by replica responses."""
+
+    __slots__ = ("_alpha", "_estimates", "_samples", "_fallback")
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        fallback: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = float(alpha)
+        self._estimates: Dict[str, float] = {}
+        self._samples: Dict[str, int] = {}
+        self._fallback = fallback
+
+    @property
+    def alpha(self) -> float:
+        """EWMA smoothing factor (weight of the newest sample)."""
+        return self._alpha
+
+    def observe(self, node_id: str, rtt: float) -> None:
+        """Fold one observed round trip into the node's estimate."""
+        current = self._estimates.get(node_id)
+        if current is None:
+            self._estimates[node_id] = rtt
+        else:
+            self._estimates[node_id] = current + self._alpha * (rtt - current)
+        self._samples[node_id] = self._samples.get(node_id, 0) + 1
+
+    def estimate(self, node_id: str) -> float:
+        """Current RTT estimate for ``node_id`` (fallback when unsampled)."""
+        estimate = self._estimates.get(node_id)
+        if estimate is not None:
+            return estimate
+        if self._fallback is not None:
+            return float(self._fallback())
+        return 0.0
+
+    def samples(self, node_id: str) -> int:
+        """Number of round trips observed for ``node_id``."""
+        return self._samples.get(node_id, 0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of all per-node estimates (for reports and tests)."""
+        return dict(self._estimates)
+
+    def forget(self, node_id: str) -> None:
+        """Drop a node's estimate (e.g. after decommissioning)."""
+        self._estimates.pop(node_id, None)
+        self._samples.pop(node_id, None)
+
+
+class LatencyAwareReplicaSelection(RequestMiddleware):
+    """Route reads away from slow replicas, spreading load over the fast ones.
+
+    Greedily sending every read to the single lowest-RTT replica herds the
+    whole read load onto one node, queues it up and oscillates — the classic
+    dynamic-snitch failure mode.  Like Cassandra's snitch, this middleware
+    therefore applies a *badness threshold*: replicas whose RTT estimate is
+    within ``(1 + badness_threshold)`` of the best are considered healthy and
+    shared round-robin; only replicas meaningfully slower than the best (a
+    noisy neighbour, an overloaded or degraded node) are avoided.
+
+    An avoided replica receives no reads, so its EWMA would never recover on
+    its own once the degradation ends.  Every ``explore_every``-th avoidance
+    therefore routes one read to the slowest replica instead (bounded
+    exploration, one potentially-slow read per window), refreshing its
+    estimate so recovered nodes rejoin the rotation.
+    """
+
+    name = "latency-aware-selection"
+
+    def __init__(
+        self,
+        tracker: NodeRttTracker,
+        badness_threshold: float = 0.5,
+        explore_every: int = 32,
+    ) -> None:
+        if badness_threshold < 0.0:
+            raise ValueError(f"badness_threshold must be >= 0, got {badness_threshold}")
+        if explore_every < 2:
+            raise ValueError(f"explore_every must be >= 2, got {explore_every}")
+        self._tracker = tracker
+        self._badness_threshold = float(badness_threshold)
+        self._explore_every = int(explore_every)
+        self._rotation = 0
+        self._since_explore = 0
+        self.selections = 0
+        """Reads this middleware routed (for reports and tests)."""
+
+        self.avoidances = 0
+        """Reads routed away from at least one slow replica."""
+
+        self.explorations = 0
+        """Reads deliberately routed to an avoided replica to re-probe it."""
+
+    @property
+    def tracker(self) -> NodeRttTracker:
+        """The per-node RTT estimates backing the routing decision."""
+        return self._tracker
+
+    @property
+    def badness_threshold(self) -> float:
+        """Relative RTT slack before a replica is considered slow."""
+        return self._badness_threshold
+
+    def select_read_targets(
+        self, ctx: RequestContext, live: Sequence[str], required: int
+    ) -> Optional[List[str]]:
+        if len(live) <= required:
+            return None  # nothing to choose
+        estimate = self._tracker.estimate
+        # Node id breaks ties so the ranking is fully deterministic.
+        ranked = sorted(live, key=lambda node_id: (estimate(node_id), node_id))
+        self.selections += 1
+        cutoff = estimate(ranked[0]) * (1.0 + self._badness_threshold)
+        healthy = len(ranked)
+        while healthy > 1 and estimate(ranked[healthy - 1]) > cutoff:
+            healthy -= 1
+        if healthy < len(ranked):
+            self.avoidances += 1
+            self._since_explore += 1
+            if self._since_explore >= self._explore_every:
+                # Re-probe the slowest replica so a recovered node's estimate
+                # refreshes and it can rejoin the healthy rotation.
+                self._since_explore = 0
+                self.explorations += 1
+                return [ranked[-1]] + ranked[: required - 1]
+        if healthy <= required:
+            # Not enough healthy replicas to choose among: take the fastest.
+            return ranked[:required]
+        # Rotate among the healthy replicas so none of them is herded.
+        start = self._rotation % healthy
+        self._rotation += 1
+        return [ranked[(start + i) % healthy] for i in range(required)]
+
+    def on_replica_response(self, ctx: RequestContext, node_id: str, rtt: float) -> None:
+        self._tracker.observe(node_id, rtt)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "alpha": self._tracker.alpha,
+            "badness_threshold": self._badness_threshold,
+            "nodes_tracked": len(self._tracker.snapshot()),
+            "selections": self.selections,
+            "avoidances": self.avoidances,
+            "explorations": self.explorations,
+        }
+
+
+@register_middleware("latency-aware-selection")
+def _build_latency_aware(ctx: MiddlewareBuildContext) -> LatencyAwareReplicaSelection:
+    alpha = float(ctx.params.get("alpha", 0.3))
+    badness_threshold = float(ctx.params.get("badness_threshold", 0.5))
+    explore_every = int(ctx.params.get("explore_every", 32))
+    fallback: Optional[Callable[[], float]] = None
+    if ctx.cluster is not None:
+        fallback = ctx.cluster.network.round_trip_estimate
+    return LatencyAwareReplicaSelection(
+        NodeRttTracker(alpha=alpha, fallback=fallback),
+        badness_threshold=badness_threshold,
+        explore_every=explore_every,
+    )

@@ -1,0 +1,75 @@
+"""Per-request consistency overrides.
+
+The cluster has *default* read/write consistency levels the controller tunes
+globally.  Real applications want finer grain: a shopping cart read can
+tolerate staleness while the checkout write of the same tenant cannot.  The
+workload layer expresses that as per-operation hints
+(:attr:`~repro.workload.generator.WorkloadSpec.consistency_overrides`), and
+this middleware is the policy point that honours them — the request path
+stays in control, so an operator pipeline can also clamp what applications
+may ask for (``max_level``).
+
+Without this middleware in the pipeline, hints are carried but ignored: the
+override capability is a property of the request path, not of the client API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cluster.types import ConsistencyLevel
+from .base import RequestContext, RequestMiddleware
+from .registry import MiddlewareBuildContext, register_middleware
+
+__all__ = ["PerRequestConsistencyOverride", "CONSISTENCY_HINT"]
+
+#: Hint key carrying a per-request consistency level.
+CONSISTENCY_HINT = "consistency_level"
+
+
+def _coerce_level(value: object) -> Optional[ConsistencyLevel]:
+    if isinstance(value, ConsistencyLevel):
+        return value
+    if isinstance(value, str):
+        return ConsistencyLevel(value.upper())
+    return None
+
+
+class PerRequestConsistencyOverride(RequestMiddleware):
+    """Rewrite the effective consistency level from the request's hints."""
+
+    name = "consistency-override"
+
+    def __init__(self, max_level: Optional[ConsistencyLevel] = None) -> None:
+        self._max_level = max_level
+        self.overrides_applied = 0
+        self.overrides_clamped = 0
+
+    def on_request(self, ctx: RequestContext) -> None:
+        hints = ctx.hints
+        if not hints:
+            return
+        level = _coerce_level(hints.get(CONSISTENCY_HINT))
+        if level is None:
+            return
+        if self._max_level is not None and level.strictness > self._max_level.strictness:
+            level = self._max_level
+            self.overrides_clamped += 1
+        if level is not ctx.consistency_level:
+            ctx.consistency_level = level
+            self.overrides_applied += 1
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "max_level": self._max_level.value if self._max_level else None,
+            "overrides_applied": self.overrides_applied,
+        }
+
+
+@register_middleware("consistency-override")
+def _build_consistency_override(
+    ctx: MiddlewareBuildContext,
+) -> PerRequestConsistencyOverride:
+    max_level = _coerce_level(ctx.params.get("max_level"))
+    return PerRequestConsistencyOverride(max_level=max_level)

@@ -1,0 +1,156 @@
+"""Name-based middleware registry.
+
+Scenario variants declare their request path as an ordered list of middleware
+*names* (in :class:`~repro.cluster.cluster.ClusterConfig`, on
+:class:`~repro.runner.SimulationConfig`, or on the CLI via ``--middleware``);
+the registry turns those names into a :class:`MiddlewarePipeline` against a
+live cluster.  Registering a custom middleware is one decorator::
+
+    from repro.middleware import RequestMiddleware, register_middleware
+
+    @register_middleware("tenant-throttle")
+    def _build(ctx):
+        return TenantThrottle(limit=ctx.params.get("limit", 100))
+
+after which ``middleware=("replica-selection", ..., "tenant-throttle")`` wires
+it into every request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
+
+from .base import MiddlewarePipeline, RequestMiddleware
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..cluster.cluster import Cluster
+    from ..cluster.coordinator import RequestCoordinator
+    from ..simulation.engine import Simulator
+
+__all__ = [
+    "MiddlewareBuildContext",
+    "UnknownMiddlewareError",
+    "register_middleware",
+    "build_pipeline",
+    "available_middlewares",
+    "DEFAULT_REQUEST_PIPELINE",
+    "LATENCY_AWARE_PIPELINE",
+    "CONSISTENCY_OVERRIDE_PIPELINE",
+]
+
+#: The stack that reproduces the pre-pipeline coordinator bit-identically.
+DEFAULT_REQUEST_PIPELINE: Tuple[str, ...] = (
+    "replica-selection",
+    "consistency",
+    "hinted-handoff",
+    "read-repair",
+    "staleness",
+    "monitoring-hooks",
+)
+
+#: Default stack with reads routed to the lowest-RTT replicas instead of
+#: random ones (deterministic; uses no RNG stream).
+LATENCY_AWARE_PIPELINE: Tuple[str, ...] = (
+    "latency-aware-selection",
+    "consistency",
+    "hinted-handoff",
+    "read-repair",
+    "staleness",
+    "monitoring-hooks",
+)
+
+#: Default stack honouring per-request consistency-level hints from the
+#: workload (``WorkloadSpec.consistency_overrides``).
+CONSISTENCY_OVERRIDE_PIPELINE: Tuple[str, ...] = (
+    "replica-selection",
+    "consistency-override",
+    "consistency",
+    "hinted-handoff",
+    "read-repair",
+    "staleness",
+    "monitoring-hooks",
+)
+
+
+class UnknownMiddlewareError(KeyError):
+    """Raised when a pipeline names a middleware nobody registered."""
+
+
+@dataclass
+class MiddlewareBuildContext:
+    """Everything a middleware factory may need to wire itself up."""
+
+    simulator: "Simulator"
+    cluster: Optional["Cluster"] = None
+    coordinator: Optional["RequestCoordinator"] = None
+    params: Dict[str, object] = field(default_factory=dict)
+    """Per-middleware construction parameters (``middleware_params[name]``)."""
+
+
+_FACTORIES: Dict[str, Callable[[MiddlewareBuildContext], RequestMiddleware]] = {}
+
+
+def register_middleware(
+    name: str,
+) -> Callable[
+    [Callable[[MiddlewareBuildContext], RequestMiddleware]],
+    Callable[[MiddlewareBuildContext], RequestMiddleware],
+]:
+    """Decorator registering a middleware factory under ``name``.
+
+    Re-registering a name overwrites the previous factory (useful in tests).
+    """
+
+    def _register(
+        factory: Callable[[MiddlewareBuildContext], RequestMiddleware],
+    ) -> Callable[[MiddlewareBuildContext], RequestMiddleware]:
+        _FACTORIES[name] = factory
+        return factory
+
+    return _register
+
+
+def available_middlewares() -> Tuple[str, ...]:
+    """Registered middleware names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` has a registered factory."""
+    return name in _FACTORIES
+
+
+def build_middleware(name: str, context: MiddlewareBuildContext) -> RequestMiddleware:
+    """Instantiate one middleware by registry name."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise UnknownMiddlewareError(
+            f"unknown middleware {name!r}; registered: {', '.join(available_middlewares())}"
+        )
+    middleware = factory(context)
+    middleware.name = name
+    return middleware
+
+
+def build_pipeline(
+    names: Sequence[str],
+    context: MiddlewareBuildContext,
+    params: Optional[Dict[str, Dict[str, object]]] = None,
+) -> MiddlewarePipeline:
+    """Build an ordered pipeline from registry names.
+
+    ``params`` maps middleware name to that middleware's construction
+    parameters; unnamed middlewares get an empty parameter dict.
+    """
+    params = params or {}
+    middlewares = []
+    for name in names:
+        stage_context = MiddlewareBuildContext(
+            simulator=context.simulator,
+            cluster=context.cluster,
+            coordinator=context.coordinator,
+            params=dict(params.get(name, {})),
+        )
+        middlewares.append(build_middleware(name, stage_context))
+    return MiddlewarePipeline(middlewares)

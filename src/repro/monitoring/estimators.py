@@ -432,7 +432,26 @@ class RttEstimator(ConsistencyEstimator, ClusterListener):
         ConsistencyEstimator.__init__(self, simulator, self._config.report_interval)
         self._cluster = cluster
         self._write_latencies = WindowedPercentiles(window=512)
+        self._node_tracker = None
         cluster.add_listener(self)
+
+    def attach_node_tracker(self, tracker) -> None:
+        """Share a per-node RTT view with the estimator.
+
+        The latency-aware replica-selection middleware measures per-replica
+        round trips on production reads; attaching its
+        :class:`~repro.middleware.latency.NodeRttTracker` here lets reports
+        and the controller inspect the same per-node RTT estimates the
+        request path routes on.  Attachment never changes the window
+        estimates this class emits.
+        """
+        self._node_tracker = tracker
+
+    def node_rtt_estimates(self) -> Dict[str, float]:
+        """Per-node RTT estimates from the attached tracker (empty if none)."""
+        if self._node_tracker is None:
+            return {}
+        return self._node_tracker.snapshot()
 
     def on_operation_completed(self, result: object) -> None:
         if isinstance(result, WriteResult) and result.success and not result.operation.is_probe:

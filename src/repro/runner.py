@@ -14,8 +14,9 @@ examples report.  It is the single entry point the public API exposes::
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .cluster.cluster import Cluster, ClusterConfig, ClusterListener
 from .cluster.faults import FaultInjector
@@ -63,7 +64,12 @@ class SimulationConfig:
     """Simulated seconds of workload execution."""
 
     warmup: float = 60.0
-    """Seconds excluded from nothing but available to callers for slicing."""
+    """Warm-up period in simulated seconds at the start of the run.
+
+    The harness itself does not discard anything: reports cover the whole
+    run.  Callers that want steady-state figures use this value to slice the
+    recorded time series (e.g. ``series.slice(config.warmup, None)``) or to
+    align comparisons across scenarios."""
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -76,6 +82,11 @@ class SimulationConfig:
     compensation_rates: CompensationRates = field(default_factory=CompensationRates)
     window_tracker: WindowTrackerConfig = field(default_factory=WindowTrackerConfig)
     label: str = "scenario"
+
+    middleware: Optional[Sequence[str]] = None
+    """Request-pipeline middleware names for the cluster (``None`` keeps
+    ``cluster.middleware`` as configured; setting this overrides it).  The
+    default stack reproduces the classic request path bit-identically."""
 
 
 @dataclass
@@ -177,8 +188,15 @@ class Simulation:
         policy: Optional[ScalingPolicy] = None,
     ) -> None:
         self.config = config or SimulationConfig()
+        cluster_config = self.config.cluster
+        if self.config.middleware is not None:
+            # Never mutate the caller's config: a ClusterConfig may be shared
+            # between scenarios that pick different pipelines.
+            cluster_config = dataclasses.replace(
+                cluster_config, middleware=tuple(self.config.middleware)
+            )
         self.simulator = Simulator(seed=self.config.seed)
-        self.cluster = Cluster(self.simulator, self.config.cluster)
+        self.cluster = Cluster(self.simulator, cluster_config)
         self.fault_injector = FaultInjector(self.simulator, self.cluster)
 
         # Ground truth and client-observed consistency tracking.
@@ -221,6 +239,11 @@ class Simulation:
             rtt = RttEstimator(self.simulator, self.cluster)
             self.estimators[rtt.name] = rtt
             self.overhead.register(rtt)
+            # When the pipeline routes reads by latency, share its per-node
+            # RTT view with the model-based estimator's reporting surface.
+            latency_mw = self.cluster.pipeline.get("latency-aware-selection")
+            if latency_mw is not None:
+                rtt.attach_node_tracker(latency_mw.tracker)
 
         # Cost accounting.
         self.cost = CostAccountant(
@@ -251,6 +274,16 @@ class Simulation:
         )
 
         self._ran = False
+        # ``build_report`` is idempotent: monitoring/SLA charges are recorded
+        # as deltas against what previous calls already billed.
+        self._billed_probe_operations = 0
+        self._billed_analysis_cpu = 0.0
+        self._billed_sla_penalty = 0.0
+
+    @property
+    def pipeline(self):
+        """The request-middleware pipeline the cluster executes."""
+        return self.cluster.pipeline
 
     # ------------------------------------------------------------------
     # Execution
@@ -267,23 +300,52 @@ class Simulation:
         return self.build_report()
 
     def run_until(self, time: float) -> None:
-        """Advance the scenario to ``time`` (for step-wise examples/tests)."""
+        """Advance the scenario to ``time`` (for step-wise examples/tests).
+
+        The workload stops at the configured duration, exactly as
+        :meth:`run` does — advancing past it first drains the arrival
+        process at ``duration`` and then lets the remaining time play out
+        (in-flight operations, background repair, monitoring), so reports
+        built afterwards account a finished run rather than one with
+        arrivals still scheduled.
+        """
         if not self._ran:
             self.workload.preload()
             self.workload.start()
             self._ran = True
+        duration = self.config.duration
+        if time >= duration:
+            if self.simulator.now < duration:
+                self.simulator.run_until(duration)
+            self.workload.stop()
         self.simulator.run_until(time)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def build_report(self) -> SimulationReport:
-        """Assemble the report for whatever has been simulated so far."""
+        """Assemble the report for whatever has been simulated so far.
+
+        Safe to call repeatedly (after :meth:`run` or between
+        :meth:`run_until` steps): monitoring and SLA charges are recorded as
+        deltas, so a second call re-reports the same state instead of
+        double-billing it.
+        """
         now = self.simulator.now
-        self.cost.billing.record_probe_operations(self.overhead.probe_operations)
-        for overhead_report in self.overhead.reports().values():
-            self.cost.billing.record_analysis_cpu(overhead_report.analysis_cpu_seconds)
-        self.cost.add_sla_penalty(self.controller.sla_evaluator.penalty_cost)
+        probe_operations = self.overhead.probe_operations
+        self.cost.billing.record_probe_operations(
+            probe_operations - self._billed_probe_operations
+        )
+        self._billed_probe_operations = probe_operations
+        analysis_cpu = sum(
+            overhead_report.analysis_cpu_seconds
+            for overhead_report in self.overhead.reports().values()
+        )
+        self.cost.billing.record_analysis_cpu(analysis_cpu - self._billed_analysis_cpu)
+        self._billed_analysis_cpu = analysis_cpu
+        sla_penalty = self.controller.sla_evaluator.penalty_cost
+        self.cost.add_sla_penalty(sla_penalty - self._billed_sla_penalty)
+        self._billed_sla_penalty = sla_penalty
         cost_report = self.cost.report(end_time=now)
 
         estimator_estimates: Dict[str, Dict[str, float]] = {}

@@ -18,14 +18,24 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..cluster.cluster import Cluster
-from ..cluster.types import OperationType, ReadResult, WriteResult
+from ..cluster.types import ConsistencyLevel, OperationType, ReadResult, WriteResult
+from ..middleware.overrides import CONSISTENCY_HINT
 from ..simulation.engine import Simulator
 from ..simulation.timeseries import TimeSeries
 from .distributions import KeyDistribution, make_distribution
 from .load_shapes import ConstantLoad, LoadShape
 from .operations import OperationMix, READ_HEAVY, RecordSizer
 
-__all__ = ["WorkloadSpec", "WorkloadStats", "WorkloadGenerator"]
+__all__ = [
+    "CONSISTENCY_OVERRIDE_KINDS",
+    "WorkloadSpec",
+    "WorkloadStats",
+    "WorkloadGenerator",
+]
+
+#: Operation kinds that accept a per-kind consistency override (the single
+#: source of truth for WorkloadSpec validation and the CLI flag).
+CONSISTENCY_OVERRIDE_KINDS = ("read", "update", "insert")
 
 
 class _LatencyBuffer:
@@ -94,6 +104,20 @@ class WorkloadSpec:
     min_rate: float = 0.1
     """Floor on the arrival rate used when the shape returns ~0 ops/s."""
 
+    consistency_overrides: Dict[str, ConsistencyLevel] = field(default_factory=dict)
+    """Per-operation-kind consistency levels (keys: ``read``, ``update``,
+    ``insert``).  Carried as request hints; they only take effect when the
+    cluster's pipeline includes the ``consistency-override`` middleware —
+    the override capability belongs to the request path, not the client."""
+
+    def __post_init__(self) -> None:
+        unknown = set(self.consistency_overrides) - set(CONSISTENCY_OVERRIDE_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown consistency_overrides keys {sorted(unknown)}; "
+                f"expected a subset of {CONSISTENCY_OVERRIDE_KINDS}"
+            )
+
     def build_distribution(self) -> KeyDistribution:
         """Instantiate the configured key distribution."""
         return make_distribution(
@@ -113,6 +137,9 @@ class WorkloadSpec:
             "update_fraction": self.operation_mix.update_fraction,
             "insert_fraction": self.operation_mix.insert_fraction,
             "mean_record_size": self.mean_record_size,
+            "consistency_overrides": {
+                kind: level.value for kind, level in self.consistency_overrides.items()
+            },
         }
 
 
@@ -241,6 +268,18 @@ class WorkloadGenerator:
         # re-rendered on every single operation.
         self._arrival_label = f"{name}:arrival"
         self._key_prefix = self.spec.key_prefix
+        # Per-kind hint dicts are materialised once; the default (no
+        # overrides) keeps them None so the issue path stays allocation-free.
+        overrides = self.spec.consistency_overrides
+        self._read_hints = (
+            {CONSISTENCY_HINT: overrides["read"]} if "read" in overrides else None
+        )
+        self._update_hints = (
+            {CONSISTENCY_HINT: overrides["update"]} if "update" in overrides else None
+        )
+        self._insert_hints = (
+            {CONSISTENCY_HINT: overrides["insert"]} if "insert" in overrides else None
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -310,14 +349,18 @@ class WorkloadGenerator:
             index = distribution.next_index(rng)
             key = distribution.key_for(index, self._key_prefix)
             stats.reads_issued += 1
-            self._cluster.read(key, on_complete=stats.record_read)
+            self._cluster.read(
+                key, on_complete=stats.record_read, hints=self._read_hints
+            )
             return
         if kind == "insert":
             index = self._next_record_index
             self._next_record_index += 1
             distribution.grow(self._next_record_index)
+            hints = self._insert_hints
         else:
             index = distribution.next_index(rng)
+            hints = self._update_hints
         key = distribution.key_for(index, self._key_prefix)
         size = self._sizer.next_size(rng)
         stats.writes_issued += 1
@@ -326,6 +369,7 @@ class WorkloadGenerator:
             value=b"\x00" * min(size, 64),
             size=size,
             on_complete=stats.record_write,
+            hints=hints,
         )
 
     def _sample_offered_rate(self) -> None:

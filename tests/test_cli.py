@@ -115,3 +115,95 @@ def test_cli_run_json_output(capsys):
     payload = json.loads(captured.out)
     assert payload["label"] == "cli-static"
     assert "workload" in payload and "cost" in payload
+
+
+def test_parser_accepts_middleware_and_overrides():
+    args = build_parser().parse_args(
+        [
+            "run",
+            "--middleware",
+            "latency-aware-selection,consistency-override,consistency,monitoring-hooks",
+            "--consistency-override",
+            "read=ONE",
+            "--consistency-override",
+            "update=QUORUM",
+        ]
+    )
+    config = build_simulation_config(args)
+    assert config.middleware == (
+        "latency-aware-selection",
+        "consistency-override",
+        "consistency",
+        "monitoring-hooks",
+    )
+    assert config.workload.consistency_overrides == {
+        "read": ConsistencyLevel.ONE,
+        "update": ConsistencyLevel.QUORUM,
+    }
+
+
+def test_cli_rejects_malformed_consistency_override():
+    args = build_parser().parse_args(
+        ["run", "--consistency-override", "delete=ONE"]
+    )
+    with pytest.raises(SystemExit):
+        build_simulation_config(args)
+    args = build_parser().parse_args(
+        ["run", "--consistency-override", "read=SOMETIMES"]
+    )
+    with pytest.raises(SystemExit):
+        build_simulation_config(args)
+
+
+def test_cli_run_with_middleware_variant(capsys):
+    exit_code = main(
+        [
+            "run",
+            "--duration",
+            "40",
+            "--rate",
+            "40",
+            "--node-capacity",
+            "400",
+            "--policy",
+            "static",
+            "--middleware",
+            ",".join(
+                (
+                    "replica-selection",
+                    "consistency-override",
+                    "consistency",
+                    "hinted-handoff",
+                    "read-repair",
+                    "staleness",
+                    "monitoring-hooks",
+                )
+            ),
+            "--consistency-override",
+            "update=QUORUM",
+            "--json",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.out)
+    assert payload["final_configuration"]["middleware"][1] == "consistency-override"
+
+
+def test_consistency_override_implies_or_requires_pipeline():
+    # No --middleware: the override pipeline is implied.
+    args = build_parser().parse_args(["run", "--consistency-override", "update=QUORUM"])
+    config = build_simulation_config(args)
+    assert "consistency-override" in config.middleware
+    # Explicit --middleware without the stage: refuse instead of silently ignoring.
+    args = build_parser().parse_args(
+        [
+            "run",
+            "--middleware",
+            "replica-selection,consistency,monitoring-hooks",
+            "--consistency-override",
+            "update=QUORUM",
+        ]
+    )
+    with pytest.raises(SystemExit, match="consistency-override"):
+        build_simulation_config(args)

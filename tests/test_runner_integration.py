@@ -139,3 +139,44 @@ def test_experiment_result_rendering():
     text = result.render()
     assert "EX" in text
     assert "a note" in text
+
+
+def test_run_until_stops_workload_at_duration_and_reports_idempotently():
+    simulation = Simulation(SimulationConfig(seed=5, duration=40.0))
+    simulation.run_until(20.0)
+    first = simulation.build_report()
+    again = simulation.build_report()
+    # Same state, same bill: build_report() must not double-charge.
+    assert again.cost.total_cost == first.cost.total_cost
+    assert again.cost.monitoring_cost == first.cost.monitoring_cost
+    assert simulation.workload._running  # still mid-run
+
+    simulation.run_until(40.0)  # reaching the duration stops the workload
+    assert not simulation.workload._running
+    final = simulation.build_report()
+    final_again = simulation.build_report()
+    assert final_again.cost.total_cost == final.cost.total_cost
+    assert final.duration >= first.duration
+
+
+def test_run_until_overshoot_matches_run_workload():
+    reference = Simulation(SimulationConfig(seed=5, duration=40.0))
+    reference.run()
+    stepped = Simulation(SimulationConfig(seed=5, duration=40.0))
+    stepped.run_until(100.0)  # overshoot: arrivals must still stop at 40 s
+    assert (
+        stepped.workload.stats.operations_issued
+        == reference.workload.stats.operations_issued
+    )
+    assert not stepped.workload._running
+
+
+def test_run_until_can_keep_stepping_past_the_duration():
+    simulation = Simulation(SimulationConfig(seed=5, duration=10.0))
+    simulation.run_until(15.0)
+    issued_at_stop = simulation.workload.stats.operations_issued
+    simulation.run_until(20.0)  # must not try to rewind to the duration
+    simulation.run_until(25.0)
+    assert simulation.simulator.now >= 25.0
+    assert simulation.workload.stats.operations_issued == issued_at_stop
+    simulation.build_report()  # checkpointing between steps stays safe
