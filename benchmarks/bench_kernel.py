@@ -164,6 +164,36 @@ def bench_end_to_end(duration: float = 300.0, seed: int = 42) -> dict:
     }
 
 
+def bench_hedged_stack(duration: float = 300.0, seed: int = 42) -> dict:
+    """Like :func:`bench_end_to_end` but through the hedged request pipeline.
+
+    The tail-latency stack adds per-read work (hedge timer arm/cancel, EWMA
+    ranking, write fan-out ordering) to the hottest path in the data plane;
+    this section keeps that overhead honest under the same regression gate
+    as the default stack.
+    """
+    from repro.middleware import HEDGED_PIPELINE
+
+    config = SimulationConfig(seed=seed, duration=duration, middleware=HEDGED_PIPELINE)
+    simulation = Simulation(config)
+    start = time.perf_counter()
+    report = simulation.run()
+    wall = time.perf_counter() - start
+    completed = report.workload_summary["operations_completed"]
+    hedging = simulation.pipeline.get("request-hedging")
+    return {
+        "sim_duration": duration,
+        "seed": seed,
+        "wall_seconds": round(wall, 4),
+        "operations_completed": int(completed),
+        "ops_per_sec": round(completed / wall, 1),
+        "events_processed": report.events_processed,
+        "events_per_sec": round(report.events_processed / wall, 1),
+        "hedges_armed": hedging.hedges_armed if hedging else 0,
+        "hedges_fired": hedging.hedges_fired if hedging else 0,
+    }
+
+
 # ----------------------------------------------------------------------
 # Recording + regression gate
 # ----------------------------------------------------------------------
@@ -183,6 +213,7 @@ def _check_regression(previous: dict, current: dict) -> list[str]:
         ("kernel events/sec", "kernel", "events_per_sec"),
         ("end-to-end ops/sec", "end_to_end", "ops_per_sec"),
         ("end-to-end events/sec", "end_to_end", "events_per_sec"),
+        ("hedged-stack ops/sec", "hedged", "ops_per_sec"),
     ]
     for label, section, key in pairs:
         old = previous.get(section, {}).get(key)
@@ -240,6 +271,14 @@ def main(argv: list[str] | None = None) -> int:
             flush=True,
         )
 
+        print(f"end-to-end hedged stack ({e2e_duration:.0f} sim-seconds)...", flush=True)
+        result["hedged"] = bench_hedged_stack(duration=e2e_duration)
+        print(
+            f"  {result['hedged']['ops_per_sec']:,.0f} ops/sec, "
+            f"{result['hedged']['events_per_sec']:,.0f} events/sec",
+            flush=True,
+        )
+
     if args.json is not None:
         previous = None
         if args.json.exists():
@@ -259,10 +298,12 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 1
-            if args.skip_end_to_end and "end_to_end" in previous:
+            if args.skip_end_to_end:
                 # Keep the recorded end-to-end trajectory (and its regression
                 # gate) intact across kernel-only iterations.
-                result["end_to_end"] = previous["end_to_end"]
+                for section in ("end_to_end", "hedged"):
+                    if section in previous:
+                        result[section] = previous[section]
             problems = _check_regression(previous, result)
             if problems and not args.force:
                 for problem in problems:

@@ -1,21 +1,24 @@
 #!/usr/bin/env python3
-"""Request-pipeline variants: same cluster, three request paths.
+"""Request-pipeline variants: same cluster, four request paths.
 
 The request path of the store is a composable middleware pipeline
 (:mod:`repro.middleware`).  This example runs the identical cluster and
 workload — three replicas under multi-tenant interference, where noisy
-neighbours periodically degrade a node — under three declarative pipeline
+neighbours periodically degrade a node — under four declarative pipeline
 variants:
 
 * **default** — random load-balanced replica selection, the stack that
   reproduces the classic coordinator bit-identically;
 * **latency-aware** — reads routed away from degraded replicas using
   per-node RTT estimates (shared with the model-based RTT estimator), with a
-  badness threshold that prevents herding onto the single fastest node; and
+  badness threshold that prevents herding onto the single fastest node;
+* **hedged** — the tail-latency stack: latency-aware routing plus
+  speculative (hedged) backup reads past a p99-derived latency budget and
+  RTT-aware write fan-out ordering/coordinator preference; and
 * **per-op overrides** — the workload requests QUORUM for updates while
   reads stay at ONE, honoured by the ``consistency-override`` middleware.
 
-Neither variant requires touching the coordinator: each is an ordered list
+No variant requires touching the coordinator: each is an ordered list
 of middleware names on ``SimulationConfig``.
 
 Run with::
@@ -37,6 +40,7 @@ from repro import (
 from repro.core.controller import ControllerConfig
 from repro.middleware import (
     CONSISTENCY_OVERRIDE_PIPELINE,
+    HEDGED_PIPELINE,
     LATENCY_AWARE_PIPELINE,
 )
 from repro.simulation.interference import InterferenceConfig
@@ -77,6 +81,7 @@ def main() -> None:
     variants = {
         "default": build_config("default"),
         "latency-aware": build_config("latency-aware", middleware=LATENCY_AWARE_PIPELINE),
+        "hedged": build_config("hedged", middleware=HEDGED_PIPELINE),
         "per-op overrides": build_config(
             "per-op-overrides",
             middleware=CONSISTENCY_OVERRIDE_PIPELINE,
@@ -119,6 +124,21 @@ def main() -> None:
     print("per-node RTT (EWMA), as shared with the rtt estimator:")
     for node_id, rtt in sorted(latency_sim.estimators["rtt"].node_rtt_estimates().items()):
         print(f"  {node_id:10s} : {rtt * 1000:6.3f} ms")
+
+    hedged_sim = simulations["hedged"]
+    hedging = hedged_sim.pipeline.get("request-hedging")
+    routing = hedged_sim.pipeline.get("rtt-aware-write-routing")
+    print("\n--- hedged (tail-latency) stack ---")
+    print(f"pipeline           : {', '.join(hedged_sim.pipeline.names())}")
+    print(
+        f"hedges             : {hedging.hedges_armed:,} armed, "
+        f"{hedging.hedges_fired:,} fired, {hedging.hedges_won:,} won "
+        f"(budget now {hedging.current_budget() * 1000:.2f} ms)"
+    )
+    print(
+        f"write routing      : {routing.writes_ordered:,} fan-outs ordered, "
+        f"{routing.coordinators_preferred:,} coordinator preferences"
+    )
 
     override_sim = simulations["per-op overrides"]
     override = override_sim.pipeline.get("consistency-override")

@@ -18,7 +18,7 @@ Two subcommands cover the common workflows without writing any Python:
             --consistency-override read=ONE --consistency-override update=QUORUM
 
 ``experiment``
-    Run one of the E1–E6 experiments (or ``all``) and print its regenerated
+    Run one of the E1–E7 experiments (or ``all``) and print its regenerated
     tables::
 
         python -m repro.cli experiment E5 --scale 0.35
@@ -38,7 +38,11 @@ from .cluster.cluster import ClusterConfig
 from .cluster.node import NodeConfig
 from .cluster.types import ConsistencyLevel
 from .core.controller import ControllerConfig
-from .middleware import CONSISTENCY_OVERRIDE_PIPELINE, available_middlewares
+from .middleware import (
+    CONSISTENCY_OVERRIDE_PIPELINE,
+    HEDGED_PIPELINE,
+    available_middlewares,
+)
 from .experiments import EXPERIMENTS, run_all_experiments
 from .runner import Simulation, SimulationConfig
 from .workload.generator import CONSISTENCY_OVERRIDE_KINDS, WorkloadSpec
@@ -87,6 +91,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--hedge-reads",
+        action="store_true",
+        help=(
+            "use the tail-latency stack: latency-aware read routing, "
+            "speculative (hedged) backup reads and RTT-aware write "
+            "fan-out/coordinator preference; implies the hedged pipeline "
+            "unless --middleware names one explicitly (which must then "
+            "include request-hedging)"
+        ),
+    )
+    run_parser.add_argument(
+        "--hedge-budget-fraction",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "static hedge budget as a fraction of the operation timeout "
+            "(default 0.05; only meaningful with request-hedging installed)"
+        ),
+    )
+    run_parser.add_argument(
         "--consistency-override",
         action="append",
         default=None,
@@ -100,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--json", action="store_true", help="print the full report as JSON")
 
-    experiment_parser = subparsers.add_parser("experiment", help="run an E1-E6 experiment")
+    experiment_parser = subparsers.add_parser("experiment", help="run an E1-E7 experiment")
     experiment_parser.add_argument(
         "experiment", choices=sorted(EXPERIMENTS) + ["all"], help="experiment id"
     )
@@ -168,6 +193,23 @@ def build_simulation_config(args: argparse.Namespace) -> SimulationConfig:
                 "--consistency-override requires the consistency-override "
                 "middleware; add it to --middleware or drop the flag"
             )
+    if getattr(args, "hedge_reads", False):
+        if middleware is None:
+            middleware = HEDGED_PIPELINE
+        elif "request-hedging" not in middleware:
+            raise SystemExit(
+                "--hedge-reads requires the request-hedging middleware; "
+                "add it to --middleware or drop the flag"
+            )
+    middleware_params = None
+    budget_fraction = getattr(args, "hedge_budget_fraction", None)
+    if budget_fraction is not None:
+        if middleware is None or "request-hedging" not in middleware:
+            raise SystemExit(
+                "--hedge-budget-fraction only applies when the "
+                "request-hedging middleware is installed (e.g. --hedge-reads)"
+            )
+        middleware_params = {"request-hedging": {"budget_fraction": budget_fraction}}
     return SimulationConfig(
         seed=args.seed,
         duration=args.duration,
@@ -186,6 +228,7 @@ def build_simulation_config(args: argparse.Namespace) -> SimulationConfig:
         ),
         controller=ControllerConfig(policy=args.policy),
         middleware=middleware,
+        middleware_params=middleware_params,
         label=f"cli-{args.policy}",
     )
 

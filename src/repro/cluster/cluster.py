@@ -319,6 +319,12 @@ class Cluster:
         serving = self.serving_node_ids()
         if not serving:
             return None
+        # Coordinator choice is a pipeline decision when an RTT-aware routing
+        # stage is installed; plain round-robin otherwise.
+        if self.pipeline.prefers_coordinator:
+            preferred = self.pipeline.preferred_coordinator(serving)
+            if preferred is not None:
+                return preferred
         self._coordinator_cursor = (self._coordinator_cursor + 1) % len(serving)
         return serving[self._coordinator_cursor]
 
@@ -714,6 +720,9 @@ class Cluster:
         node.mark_removed()
         self.membership.deregister_node(node_id)
         self.hinted_handoff.discard_for_node(node_id)
+        # Routing state must not outlive the node: stale RTT estimates for a
+        # decommissioned replica would keep skewing rankings and cutoffs.
+        self.pipeline.on_node_removed(node_id)
         self._notify_topology(
             {
                 "event": "node_removed",

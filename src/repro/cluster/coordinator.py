@@ -128,6 +128,7 @@ class _ReadContext:
     responses: List[ReplicaReadResponse] = field(default_factory=list)
     completed: bool = False
     timeout_handle: Optional[EventHandle] = None
+    hedge_handle: Optional[EventHandle] = None
     on_complete: Optional[Callable[[ReadResult], None]] = None
 
 
@@ -180,6 +181,7 @@ class RequestCoordinator:
         self.unavailable_errors = 0
         self.timeouts = 0
         self.hinted_writes = 0
+        self.hedged_reads = 0
 
     @property
     def config(self) -> CoordinatorConfig:
@@ -345,6 +347,15 @@ class RequestCoordinator:
             if self._pipeline.on_unreachable_replica(request, node_id, version):
                 context.result.hinted += 1
                 self.hinted_writes += 1
+
+        # Fan-out order is a pipeline decision (RTT-aware when that
+        # middleware is installed): the first ``required`` acks raced for are
+        # the ones from the replicas contacted first.  Same replicas either
+        # way — only the send order moves.
+        if self._pipeline.orders_write_targets and len(live) > 1:
+            ordered = self._pipeline.order_write_targets(request, live)
+            if ordered is not None:
+                live = ordered
 
         for node_id in live:
             self._send_replica_write(context, coordinator_id, node_id, key, version)
@@ -568,6 +579,55 @@ class RequestCoordinator:
             label="read:timeout",
         )
 
+        # Speculative (hedged) read: when a hedging stage is installed and
+        # spare live replicas exist, arm a timer at the pipeline's latency
+        # budget.  If the read completes first the timer is cancelled; if it
+        # fires, one backup read goes to the best uncontacted replica.
+        if self._pipeline.hedges_reads and len(live) > len(targets):
+            plan = self._pipeline.hedge_read(request, live, targets)
+            if plan is not None:
+                budget, candidates = plan
+                request.hedge_armed = True
+                context.hedge_handle = self._simulator.schedule_in(
+                    budget,
+                    self._fire_hedge,
+                    context,
+                    coordinator_id,
+                    key,
+                    candidates,
+                    label="read:hedge",
+                )
+
+    def _fire_hedge(
+        self,
+        context: _ReadContext,
+        coordinator_id: str,
+        key: str,
+        candidates: Sequence[str],
+    ) -> None:
+        if context.completed:
+            return
+        context.hedge_handle = None
+        request = context.request
+        backup: Optional[str] = None
+        for node_id in candidates:
+            node = self._nodes.get(node_id)
+            if (
+                node is not None
+                and node.serves_requests
+                and self._coordinator_view_alive(coordinator_id, node_id)
+            ):
+                backup = node_id
+                break
+        if backup is None:
+            return
+        request.hedge_node = backup
+        self.hedged_reads += 1
+        context.result.replicas_contacted += 1
+        if request.send_times is not None:
+            request.send_times[backup] = self._simulator.now
+        self._send_replica_read(context, coordinator_id, backup, key)
+
     def _send_replica_read(
         self,
         context: _ReadContext,
@@ -616,6 +676,13 @@ class RequestCoordinator:
                 )
         if context.completed:
             return
+        if request.hedge_armed:
+            # A hedged read may race two responses from the same replica (the
+            # primary send and a later speculative one); count each replica's
+            # acknowledgement once so the quorum is never satisfied twice
+            # over by one node.
+            if any(r.node_id == response.node_id for r in context.responses):
+                return
         context.responses.append(response)
         context.result.replicas_responded = len(context.responses)
         if len(context.responses) < context.required_responses:
@@ -624,6 +691,11 @@ class RequestCoordinator:
         context.completed = True
         if context.timeout_handle is not None:
             context.timeout_handle.cancel()
+        if context.hedge_handle is not None:
+            context.hedge_handle.cancel()
+            context.hedge_handle = None
+        if request.hedge_armed:
+            request.completed_by = response.node_id
 
         newest: Optional[VersionedValue] = None
         for replica_response in context.responses:
@@ -667,6 +739,9 @@ class RequestCoordinator:
         context.completed = True
         if context.timeout_handle is not None:
             context.timeout_handle.cancel()
+        if context.hedge_handle is not None:
+            context.hedge_handle.cancel()
+            context.hedge_handle = None
         context.result.completed_at = self._simulator.now
         context.result.success = False
         context.result.error = error

@@ -1,4 +1,4 @@
-"""Experiment harness (E1–E6).
+"""Experiment harness (E1–E7).
 
 The paper is a doctoral-symposium proposal without an evaluation section;
 these experiments operationalise its research questions and research-plan
@@ -18,6 +18,7 @@ from . import (
     e4_reconfiguration,
     e5_autoscaling,
     e6_predictive,
+    e7_tail_latency,
 )
 from .tables import ExperimentResult, ResultTable
 
@@ -30,6 +31,7 @@ __all__ = [
     "e4_reconfiguration",
     "e5_autoscaling",
     "e6_predictive",
+    "e7_tail_latency",
     "EXPERIMENTS",
     "run_all_experiments",
 ]
@@ -42,6 +44,7 @@ EXPERIMENTS = {
     "E4": e4_reconfiguration,
     "E5": e5_autoscaling,
     "E6": e6_predictive,
+    "E7": e7_tail_latency,
 }
 
 

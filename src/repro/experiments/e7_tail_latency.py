@@ -1,0 +1,133 @@
+"""Experiment E7 — tail latency under fail-slow interference.
+
+The paper's middleware argument is that request-path policies should adapt
+to observed conditions.  E1–E6 exercise that loop at the *control plane*
+(scaling, consistency knobs); E7 exercises it at the *data plane*, where
+the dominant enemy is the fail-slow replica: a node degraded by a noisy
+neighbour keeps answering, just much slower, and a CL=ONE read routed to it
+pays the whole degradation in client-visible tail latency.
+
+Three request pipelines run the identical scenario — same seed, same
+workload, same aggressive noisy-neighbour interference — differing only in
+their declared middleware stack:
+
+* ``default`` — random replica selection; the slow replica keeps receiving
+  its share of reads.
+* ``latency_aware`` — EWMA-based routing *avoids* the slow replica
+  (prevention).
+* ``hedged`` — the full tail-latency stack: latency-aware routing plus
+  speculative backup reads past a p99-derived budget (cure for the reads
+  that still land badly) and RTT-aware write fan-out order and coordinator
+  preference.
+
+The table reports client read/write percentiles plus the hedging
+bookkeeping (armed/fired/won), making the mechanism auditable: hedges that
+fire but never win would indicate a mis-tuned budget, not a tail saved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..middleware import HEDGED_PIPELINE, LATENCY_AWARE_PIPELINE
+from ..runner import Simulation
+from ..simulation.interference import InterferenceConfig
+from ..workload.operations import READ_HEAVY
+from .scenarios import build_config, standard_cluster, standard_workload
+from .tables import ExperimentResult, ResultTable
+
+__all__ = ["run"]
+
+_COLUMNS = [
+    "variant",
+    "read_p50_ms",
+    "read_p95_ms",
+    "read_p99_ms",
+    "write_p95_ms",
+    "failure_fraction",
+    "hedges_armed",
+    "hedges_fired",
+    "hedges_won",
+]
+
+#: The request pipelines compared (``None`` = the default stack).
+_VARIANTS: Dict[str, Optional[Sequence[str]]] = {
+    "default": None,
+    "latency_aware": LATENCY_AWARE_PIPELINE,
+    "hedged": HEDGED_PIPELINE,
+}
+
+
+def _fail_slow_interference() -> InterferenceConfig:
+    """Aggressive noisy-neighbour episodes: frequent, long, severe slowdowns."""
+    return InterferenceConfig(
+        noisy_neighbour_probability=0.3,
+        noisy_neighbour_severity=0.25,
+        noisy_neighbour_duration=240.0,
+        node_sigma=0.08,
+    )
+
+
+def _run_variant(
+    variant: str,
+    middleware: Optional[Sequence[str]],
+    seed: int,
+    duration: float,
+    rate: float,
+    table: ResultTable,
+) -> None:
+    config = build_config(
+        label=f"e7-{variant}",
+        seed=seed,
+        duration=duration,
+        cluster=standard_cluster(nodes=3, replication_factor=3, ops_capacity=600.0),
+        workload=standard_workload(rate, mix=READ_HEAVY),
+        policy="static",
+        middleware=middleware,
+        interference=_fail_slow_interference(),
+    )
+    simulation = Simulation(config)
+    report = simulation.run()
+    summary = report.workload_summary
+    hedging = simulation.pipeline.get("request-hedging")
+    table.add_row(
+        {
+            "variant": variant,
+            "read_p50_ms": summary["read_p50_ms"],
+            "read_p95_ms": summary["read_p95_ms"],
+            "read_p99_ms": summary["read_p99_ms"],
+            "write_p95_ms": summary["write_p95_ms"],
+            "failure_fraction": summary["failure_fraction"],
+            "hedges_armed": float(hedging.hedges_armed) if hedging else 0.0,
+            "hedges_fired": float(hedging.hedges_fired) if hedging else 0.0,
+            "hedges_won": float(hedging.hedges_won) if hedging else 0.0,
+        }
+    )
+
+
+def run(seed: int = 7, scale: float = 1.0) -> ExperimentResult:
+    """Run experiment E7 and return its result tables."""
+    duration = max(240.0, 600.0 * scale)
+    rate = 150.0
+
+    result = ExperimentResult(
+        experiment="E7",
+        description=(
+            "Client-visible tail latency of the default, latency-aware and "
+            "hedged request pipelines under fail-slow noisy-neighbour "
+            "interference (identical seed and workload per variant)"
+        ),
+    )
+    table = result.add_table(
+        ResultTable("E7: read tail latency per request pipeline", _COLUMNS)
+    )
+    for variant, middleware in _VARIANTS.items():
+        _run_variant(variant, middleware, seed, duration, rate, table)
+
+    result.add_note(
+        "Latency-aware routing avoids slow replicas (prevention); hedging "
+        "adds a speculative backup read past a p99-derived budget for reads "
+        "that still land on one (cure). hedges_won counts reads completed by "
+        "the backup replica."
+    )
+    return result

@@ -20,7 +20,7 @@ factor) are unaffected by this compression.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..cluster.cluster import ClusterConfig
 from ..cluster.node import NodeConfig
@@ -169,11 +169,17 @@ def build_config(
     probe_interval: float = 5.0,
     enable_interference: bool = True,
     middleware: Optional[Sequence[str]] = None,
+    middleware_params: Optional[Dict[str, Dict[str, object]]] = None,
+    interference: Optional[InterferenceConfig] = None,
 ) -> SimulationConfig:
     """Assemble a :class:`SimulationConfig` with the experiment defaults.
 
     ``middleware`` selects the request-pipeline variant (``None`` keeps the
-    default stack; see :mod:`repro.middleware` for the named alternatives).
+    default stack; see :mod:`repro.middleware` for the named alternatives)
+    and ``middleware_params`` its per-stage construction parameters.
+    ``interference`` replaces the default interference model outright (for
+    scenarios that need specific fail-slow dynamics); ``enable_interference``
+    is ignored when it is given.
     """
     controller = ControllerConfig(
         policy=policy,
@@ -182,7 +188,8 @@ def build_config(
     )
     monitoring = MonitoringOptions()
     monitoring.probe.probe_interval = probe_interval
-    interference = InterferenceConfig(enabled=enable_interference)
+    if interference is None:
+        interference = InterferenceConfig(enabled=enable_interference)
     config = SimulationConfig(
         seed=seed,
         duration=duration,
@@ -193,6 +200,7 @@ def build_config(
         monitoring=monitoring,
         interference=interference,
         middleware=middleware,
+        middleware_params=middleware_params,
         label=label,
     )
     return config

@@ -21,11 +21,13 @@ from .builtin import (
     StalenessAnnotation,
     default_coordinator_pipeline,
 )
-from .latency import LatencyAwareReplicaSelection, NodeRttTracker
+from .hedging import RequestHedging
+from .latency import LatencyAwareReplicaSelection, NodeRttTracker, shared_node_tracker
 from .overrides import CONSISTENCY_HINT, PerRequestConsistencyOverride
 from .registry import (
     CONSISTENCY_OVERRIDE_PIPELINE,
     DEFAULT_REQUEST_PIPELINE,
+    HEDGED_PIPELINE,
     LATENCY_AWARE_PIPELINE,
     MiddlewareBuildContext,
     UnknownMiddlewareError,
@@ -35,6 +37,7 @@ from .registry import (
     is_registered,
     register_middleware,
 )
+from .routing import RttAwareWriteRouting
 
 __all__ = [
     "RequestContext",
@@ -50,6 +53,7 @@ __all__ = [
     "DEFAULT_REQUEST_PIPELINE",
     "LATENCY_AWARE_PIPELINE",
     "CONSISTENCY_OVERRIDE_PIPELINE",
+    "HEDGED_PIPELINE",
     "RandomReplicaSelection",
     "ConsistencyEnforcement",
     "HintedHandoffMiddleware",
@@ -59,6 +63,9 @@ __all__ = [
     "default_coordinator_pipeline",
     "LatencyAwareReplicaSelection",
     "NodeRttTracker",
+    "shared_node_tracker",
+    "RequestHedging",
+    "RttAwareWriteRouting",
     "PerRequestConsistencyOverride",
     "CONSISTENCY_HINT",
 ]

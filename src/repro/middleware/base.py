@@ -17,12 +17,21 @@ consulted at the well-defined decision points of the request lifecycle —
   (hinted handoff),
 * ``on_replica_response`` — a replica answered a read (per-node RTT
   observation),
+* ``hedge_read``          — arm a speculative backup read at a latency
+  budget (tail-latency hedging),
+* ``order_write_targets`` — order the write fan-out over live replicas
+  (RTT-aware write routing),
 * ``inspect_read_responses`` — all required responses arrived
   (digest comparison / read repair),
 * ``annotate_read``       — decorate the client-visible result
   (ground-truth staleness observation),
 * ``on_complete``         — the operation finished from the client's point
   of view (piggyback monitoring hooks).
+
+Two hooks sit outside the per-request flow: ``preferred_coordinator`` lets a
+stage bias the cluster's client-side coordinator choice (snitch-style), and
+``on_node_removed`` tells stages holding per-node state (RTT estimates) to
+drop entries for decommissioned nodes.
 
 The pipeline pre-computes, per hook, the subset of middlewares that actually
 override it, so a request through the default stack costs a handful of list
@@ -81,6 +90,17 @@ class RequestContext:
     send_times: Optional[Dict[str, float]] = None
     """Replica-read dispatch times, kept only when a middleware observes RTTs."""
 
+    hedge_armed: bool = False
+    """Whether a hedge timer was armed for this read (hedging stacks only)."""
+
+    hedge_node: Optional[str] = None
+    """The replica the speculative backup read was sent to (``None`` until
+    the hedge timer actually fires; stays ``None`` when it is cancelled)."""
+
+    completed_by: Optional[str] = None
+    """Node whose response completed the read — tracked only on hedged
+    requests, so the hedging middleware can attribute wins."""
+
     def reject(self, reason: str) -> None:
         """Fail this request before it fans out (admission control)."""
         self.rejection = reason
@@ -121,6 +141,32 @@ class RequestMiddleware:
     ) -> None:
         """A replica answered a read ``rtt`` seconds after dispatch."""
 
+    def hedge_read(
+        self, ctx: RequestContext, live: Sequence[str], targets: Sequence[str]
+    ) -> Optional[Tuple[float, List[str]]]:
+        """Plan a speculative backup read for a fanned-out read.
+
+        Return ``(budget_seconds, candidates)`` to have the coordinator arm a
+        hedge timer: if the read has not completed ``budget_seconds`` after
+        fan-out, one backup read goes to the first still-live candidate.
+        ``None`` means no hedge (the default).
+        """
+        return None
+
+    def order_write_targets(
+        self, ctx: RequestContext, live: Sequence[str]
+    ) -> Optional[List[str]]:
+        """Order the write fan-out over live replicas (``None`` = no opinion)."""
+        return None
+
+    def preferred_coordinator(self, serving: Sequence[str]) -> Optional[str]:
+        """Pick the coordinator for the next client request (``None`` = no
+        opinion; the cluster then falls back to its round-robin cursor)."""
+        return None
+
+    def on_node_removed(self, node_id: str) -> None:
+        """A node left the cluster for good (decommission completed)."""
+
     def inspect_read_responses(
         self, ctx: RequestContext, responses: Sequence[object]
     ) -> Optional[bool]:
@@ -157,10 +203,17 @@ class MiddlewarePipeline:
         "_selectors",
         "_unreachable",
         "_responders",
+        "_hedgers",
+        "_write_orderers",
+        "_preferrers",
+        "_removal_watchers",
         "_inspectors",
         "_annotators",
         "_completers",
         "observes_replica_rtt",
+        "hedges_reads",
+        "orders_write_targets",
+        "prefers_coordinator",
     )
 
     def __init__(self, middlewares: Sequence[RequestMiddleware] = ()) -> None:
@@ -179,9 +232,25 @@ class MiddlewarePipeline:
         self._inspectors = [
             m for m in self._middlewares if _overrides(m, "inspect_read_responses")
         ]
+        self._hedgers = [m for m in self._middlewares if _overrides(m, "hedge_read")]
+        self._write_orderers = [
+            m for m in self._middlewares if _overrides(m, "order_write_targets")
+        ]
+        self._preferrers = [
+            m for m in self._middlewares if _overrides(m, "preferred_coordinator")
+        ]
+        self._removal_watchers = [
+            m for m in self._middlewares if _overrides(m, "on_node_removed")
+        ]
         self._annotators = [m for m in self._middlewares if _overrides(m, "annotate_read")]
         self._completers = [m for m in self._middlewares if _overrides(m, "on_complete")]
         self.observes_replica_rtt = bool(self._responders)
+        # Per-hook gating flags: the coordinator/cluster check one attribute
+        # before paying for optional hooks, so the default stack schedules no
+        # extra events and runs no extra code (PERFORMANCE.md rule 6).
+        self.hedges_reads = bool(self._hedgers)
+        self.orders_write_targets = bool(self._write_orderers)
+        self.prefers_coordinator = bool(self._preferrers)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -255,6 +324,39 @@ class MiddlewarePipeline:
         """Report one replica read round-trip to every observer."""
         for middleware in self._responders:
             middleware.on_replica_response(ctx, node_id, rtt)
+
+    def hedge_read(
+        self, ctx: RequestContext, live: Sequence[str], targets: Sequence[str]
+    ) -> Optional[Tuple[float, List[str]]]:
+        """Hedge plan for this read; the first opinionated middleware wins."""
+        for middleware in self._hedgers:
+            plan = middleware.hedge_read(ctx, live, targets)
+            if plan is not None:
+                return plan
+        return None
+
+    def order_write_targets(
+        self, ctx: RequestContext, live: Sequence[str]
+    ) -> Optional[List[str]]:
+        """Write fan-out order; the first opinionated middleware wins."""
+        for middleware in self._write_orderers:
+            ordered = middleware.order_write_targets(ctx, live)
+            if ordered is not None:
+                return ordered
+        return None
+
+    def preferred_coordinator(self, serving: Sequence[str]) -> Optional[str]:
+        """Coordinator preference; the first opinionated middleware wins."""
+        for middleware in self._preferrers:
+            choice = middleware.preferred_coordinator(serving)
+            if choice is not None:
+                return choice
+        return None
+
+    def on_node_removed(self, node_id: str) -> None:
+        """Tell every stage holding per-node state that ``node_id`` is gone."""
+        for middleware in self._removal_watchers:
+            middleware.on_node_removed(node_id)
 
     def inspect_read_responses(
         self, ctx: RequestContext, responses: Sequence[object]

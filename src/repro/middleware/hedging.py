@@ -1,0 +1,189 @@
+"""Speculative (hedged) backup reads against fail-slow replicas.
+
+Tail latency in replicated stores is dominated not by crashed nodes but by
+*fail-slow* ones — a replica degraded by a noisy neighbour answers, just
+10-50x later than its peers.  A CL=ONE read that happened to pick that
+replica pays the whole degradation.  The classic countermeasure (Dean's
+"tail at scale" hedged requests, Cassandra's speculative retry) is a
+*request-path policy*: if the read has not completed within a latency
+budget, fire one backup read at the next-best replica and take whichever
+response arrives first.
+
+:class:`RequestHedging` is that policy as a pipeline stage.  It only plans:
+``hedge_read`` returns a ``(budget, candidates)`` pair, and the coordinator
+owns the mechanics — arming the timer, firing the backup read, cancelling
+the timer when the primary wins, and deduplicating acknowledgements so a
+hedged read never completes (or gets counted) twice.  The loser's response
+still updates the RTT tracker when it eventually arrives, then is dropped
+by the coordinator's completion bookkeeping.
+
+The budget comes from one of two sources, per the configuration:
+
+* a fixed fraction of ``CoordinatorConfig.operation_timeout`` (static), or
+* a p99-derived budget from the monitoring layer — the runner attaches
+  :meth:`~repro.monitoring.estimators.RttEstimator.read_latency_percentile`
+  as a budget source, clamped into ``[min_budget, static budget]``.
+
+Everything here is deterministic: candidate ranking is EWMA order with node
+id ties, the timer delay is a pure function of observed state, and no RNG
+stream is touched — adding the stage never perturbs other streams, and the
+default stack (which lacks it) schedules no hedge timers at all
+(PERFORMANCE.md rules 3 and 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .base import RequestContext, RequestMiddleware
+from .latency import NodeRttTracker, shared_node_tracker
+from .registry import MiddlewareBuildContext, register_middleware
+
+__all__ = ["RequestHedging"]
+
+
+class RequestHedging(RequestMiddleware):
+    """Arm a latency-budget timer per read; plan one backup read past it.
+
+    The stage has an opinion only when the read left at least one live
+    replica uncontacted; the backup candidates are the spare replicas in
+    EWMA-RTT order (unknown nodes last), so the coordinator's speculative
+    read goes to the *next-best* replica the primary selection skipped.
+    """
+
+    name = "request-hedging"
+
+    def __init__(
+        self,
+        tracker: NodeRttTracker,
+        operation_timeout: float,
+        budget_fraction: float = 0.05,
+        budget: Optional[float] = None,
+        min_budget: float = 0.001,
+        observe: bool = False,
+    ) -> None:
+        if operation_timeout <= 0.0:
+            raise ValueError(f"operation_timeout must be > 0, got {operation_timeout}")
+        if budget is not None and budget <= 0.0:
+            raise ValueError(f"budget must be > 0, got {budget}")
+        if budget is None and not 0.0 < budget_fraction <= 1.0:
+            raise ValueError(
+                f"budget_fraction must be in (0, 1], got {budget_fraction}"
+            )
+        if min_budget <= 0.0:
+            raise ValueError(f"min_budget must be > 0, got {min_budget}")
+        self._tracker = tracker
+        self._static_budget = (
+            float(budget) if budget is not None else float(budget_fraction) * operation_timeout
+        )
+        self._min_budget = min(float(min_budget), self._static_budget)
+        self._budget_source: Optional[Callable[[], float]] = None
+        self._observe = bool(observe)
+
+        self.hedges_armed = 0
+        """Reads for which a hedge timer was armed."""
+
+        self.hedges_cancelled = 0
+        """Armed timers cancelled because the read completed inside budget."""
+
+        self.hedges_fired = 0
+        """Timers that fired a speculative backup read."""
+
+        self.hedges_won = 0
+        """Fired hedges whose backup response completed the read."""
+
+    @property
+    def tracker(self) -> NodeRttTracker:
+        """The per-node RTT estimates backing candidate ranking."""
+        return self._tracker
+
+    @property
+    def static_budget(self) -> float:
+        """The configured fallback/ceiling hedge budget in seconds."""
+        return self._static_budget
+
+    def attach_budget_source(self, source: Callable[[], float]) -> None:
+        """Drive the budget from a live estimate (e.g. the RTT estimator's
+        p99 read latency).  A non-positive source value falls back to the
+        static budget; positive values are clamped into
+        ``[min_budget, static budget]`` so a cold or absurd estimate can
+        neither hedge every read instantly nor disable hedging entirely.
+        """
+        self._budget_source = source
+
+    def current_budget(self) -> float:
+        """The budget the next armed hedge timer will use, in seconds."""
+        if self._budget_source is not None:
+            dynamic = float(self._budget_source())
+            if dynamic > 0.0:
+                return min(max(dynamic, self._min_budget), self._static_budget)
+        return self._static_budget
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def hedge_read(
+        self, ctx: RequestContext, live: Sequence[str], targets: Sequence[str]
+    ) -> Optional[Tuple[float, List[str]]]:
+        targeted = set(targets)
+        spares = [node_id for node_id in live if node_id not in targeted]
+        if not spares:
+            return None
+        estimate_or_none = self._tracker.estimate_or_none
+
+        def rank(node_id: str) -> Tuple[int, float, str]:
+            estimate = estimate_or_none(node_id)
+            if estimate is None:
+                return (1, 0.0, node_id)  # unknown replicas rank after sampled
+            return (0, estimate, node_id)
+
+        spares.sort(key=rank)
+        self.hedges_armed += 1
+        return (self.current_budget(), spares)
+
+    def on_replica_response(self, ctx: RequestContext, node_id: str, rtt: float) -> None:
+        # Feed the shared tracker only when no earlier stage already does.
+        if self._observe:
+            self._tracker.observe(node_id, rtt)
+
+    def on_node_removed(self, node_id: str) -> None:
+        self._tracker.forget(node_id)
+
+    def on_complete(self, ctx: RequestContext, result: object) -> None:
+        if not ctx.hedge_armed:
+            return
+        if ctx.hedge_node is None:
+            # The read finished inside the budget; the coordinator cancelled
+            # the timer before it could fire.
+            self.hedges_cancelled += 1
+            return
+        self.hedges_fired += 1
+        if ctx.completed_by == ctx.hedge_node:
+            self.hedges_won += 1
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "static_budget": self._static_budget,
+            "current_budget": self.current_budget(),
+            "hedges_armed": self.hedges_armed,
+            "hedges_cancelled": self.hedges_cancelled,
+            "hedges_fired": self.hedges_fired,
+            "hedges_won": self.hedges_won,
+        }
+
+
+@register_middleware("request-hedging")
+def _build_request_hedging(ctx: MiddlewareBuildContext) -> RequestHedging:
+    if ctx.coordinator is None:
+        raise ValueError("request-hedging middleware requires a coordinator")
+    tracker, created = shared_node_tracker(ctx, alpha=float(ctx.params.get("alpha", 0.3)))
+    budget = ctx.params.get("budget")
+    return RequestHedging(
+        tracker,
+        operation_timeout=ctx.coordinator.config.operation_timeout,
+        budget_fraction=float(ctx.params.get("budget_fraction", 0.05)),
+        budget=float(budget) if budget is not None else None,
+        min_budget=float(ctx.params.get("min_budget", 0.001)),
+        observe=created,
+    )

@@ -27,7 +27,32 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .base import RequestContext, RequestMiddleware
 from .registry import MiddlewareBuildContext, register_middleware
 
-__all__ = ["NodeRttTracker", "LatencyAwareReplicaSelection"]
+__all__ = ["NodeRttTracker", "LatencyAwareReplicaSelection", "shared_node_tracker"]
+
+#: Key under which one pipeline's stages share a single RTT tracker.
+_SHARED_TRACKER_KEY = "node-rtt-tracker"
+
+
+def shared_node_tracker(
+    ctx: "MiddlewareBuildContext", alpha: float = 0.3
+) -> tuple["NodeRttTracker", bool]:
+    """Get-or-create the pipeline's shared :class:`NodeRttTracker`.
+
+    Returns ``(tracker, created)``.  The stage whose factory *creates* the
+    tracker is responsible for feeding it (``on_replica_response``); stages
+    built later in the same pipeline reuse the estimates without observing
+    samples a second time (which would double-weight every RTT in the EWMA).
+    ``alpha`` only takes effect for the creating stage.
+    """
+    tracker = ctx.shared.get(_SHARED_TRACKER_KEY)
+    if tracker is not None:
+        return tracker, False
+    fallback: Optional[Callable[[], float]] = None
+    if ctx.cluster is not None:
+        fallback = ctx.cluster.network.round_trip_estimate
+    tracker = NodeRttTracker(alpha=alpha, fallback=fallback)
+    ctx.shared[_SHARED_TRACKER_KEY] = tracker
+    return tracker, True
 
 
 class NodeRttTracker:
@@ -70,6 +95,21 @@ class NodeRttTracker:
             return float(self._fallback())
         return 0.0
 
+    def estimate_or_none(self, node_id: str) -> Optional[float]:
+        """Like :meth:`estimate`, but ``None`` when the node is genuinely
+        unknown (no samples and no fallback) instead of a misleading 0.0.
+
+        Rankings must treat ``None`` as *unknown*, never as infinitely fast:
+        an unsampled replica ranking first would also poison any cutoff
+        computed from the front of the ranking.
+        """
+        estimate = self._estimates.get(node_id)
+        if estimate is not None:
+            return estimate
+        if self._fallback is not None:
+            return float(self._fallback())
+        return None
+
     def samples(self, node_id: str) -> int:
         """Number of round trips observed for ``node_id``."""
         return self._samples.get(node_id, 0)
@@ -109,6 +149,7 @@ class LatencyAwareReplicaSelection(RequestMiddleware):
         tracker: NodeRttTracker,
         badness_threshold: float = 0.5,
         explore_every: int = 32,
+        observe: bool = True,
     ) -> None:
         if badness_threshold < 0.0:
             raise ValueError(f"badness_threshold must be >= 0, got {badness_threshold}")
@@ -117,6 +158,7 @@ class LatencyAwareReplicaSelection(RequestMiddleware):
         self._tracker = tracker
         self._badness_threshold = float(badness_threshold)
         self._explore_every = int(explore_every)
+        self._observe = bool(observe)
         self._rotation = 0
         self._since_explore = 0
         self.selections = 0
@@ -143,10 +185,22 @@ class LatencyAwareReplicaSelection(RequestMiddleware):
     ) -> Optional[List[str]]:
         if len(live) <= required:
             return None  # nothing to choose
+        self.selections += 1
+        estimate_or_none = self._tracker.estimate_or_none
+        known: List[str] = []
+        unknown: List[str] = []
+        for node_id in live:
+            (unknown if estimate_or_none(node_id) is None else known).append(node_id)
+        if not known:
+            # No RTT signal for any replica: plain rotation over the sorted
+            # live set.  Never avoid (or prefer) a replica on zero information.
+            pool = sorted(live)
+            start = self._rotation % len(pool)
+            self._rotation += 1
+            return [pool[(start + i) % len(pool)] for i in range(required)]
         estimate = self._tracker.estimate
         # Node id breaks ties so the ranking is fully deterministic.
-        ranked = sorted(live, key=lambda node_id: (estimate(node_id), node_id))
-        self.selections += 1
+        ranked = sorted(known, key=lambda node_id: (estimate(node_id), node_id))
         cutoff = estimate(ranked[0]) * (1.0 + self._badness_threshold)
         healthy = len(ranked)
         while healthy > 1 and estimate(ranked[healthy - 1]) > cutoff:
@@ -159,17 +213,32 @@ class LatencyAwareReplicaSelection(RequestMiddleware):
                 # refreshes and it can rejoin the healthy rotation.
                 self._since_explore = 0
                 self.explorations += 1
-                return [ranked[-1]] + ranked[: required - 1]
-        if healthy <= required:
-            # Not enough healthy replicas to choose among: take the fastest.
-            return ranked[:required]
+                rest = [n for n in ranked[:-1]] + sorted(unknown)
+                return [ranked[-1]] + rest[: required - 1]
+        # Unsampled replicas are *unknown*, not infinitely fast: they stay in
+        # the healthy rotation (so they get probed) but never define the
+        # cutoff and never push sampled replicas into the avoided set.
+        pool = ranked[:healthy] + sorted(unknown)
+        if len(pool) <= required:
+            # Not enough healthy replicas to choose among: top up with the
+            # fastest of the avoided ones.
+            return (pool + ranked[healthy:])[:required]
         # Rotate among the healthy replicas so none of them is herded.
-        start = self._rotation % healthy
+        start = self._rotation % len(pool)
         self._rotation += 1
-        return [ranked[(start + i) % healthy] for i in range(required)]
+        return [pool[(start + i) % len(pool)] for i in range(required)]
 
     def on_replica_response(self, ctx: RequestContext, node_id: str, rtt: float) -> None:
-        self._tracker.observe(node_id, rtt)
+        # When the tracker is shared across stages, only the stage that
+        # created it feeds it — a second observer would double-weight every
+        # sample in the EWMA.
+        if self._observe:
+            self._tracker.observe(node_id, rtt)
+
+    def on_node_removed(self, node_id: str) -> None:
+        # A decommissioned node must not linger in the ranking (a stale
+        # estimate would still count towards cutoffs via snapshots/reports).
+        self._tracker.forget(node_id)
 
     def describe(self) -> Dict[str, object]:
         return {
@@ -188,11 +257,10 @@ def _build_latency_aware(ctx: MiddlewareBuildContext) -> LatencyAwareReplicaSele
     alpha = float(ctx.params.get("alpha", 0.3))
     badness_threshold = float(ctx.params.get("badness_threshold", 0.5))
     explore_every = int(ctx.params.get("explore_every", 32))
-    fallback: Optional[Callable[[], float]] = None
-    if ctx.cluster is not None:
-        fallback = ctx.cluster.network.round_trip_estimate
+    tracker, created = shared_node_tracker(ctx, alpha=alpha)
     return LatencyAwareReplicaSelection(
-        NodeRttTracker(alpha=alpha, fallback=fallback),
+        tracker,
         badness_threshold=badness_threshold,
         explore_every=explore_every,
+        observe=created,
     )

@@ -27,11 +27,31 @@ __all__ = ["PerRequestConsistencyOverride", "CONSISTENCY_HINT"]
 CONSISTENCY_HINT = "consistency_level"
 
 
-def _coerce_level(value: object) -> Optional[ConsistencyLevel]:
+def _coerce_level(value: object, strict: bool = False) -> Optional[ConsistencyLevel]:
+    """Turn a hint/param value into a :class:`ConsistencyLevel`.
+
+    Lenient by default (``None`` for anything unrecognised): per-request
+    hints come from application code and must never crash the request path.
+    ``strict=True`` raises a :class:`ValueError` naming the valid levels —
+    for build-time configuration, where failing loudly is the right call.
+    """
     if isinstance(value, ConsistencyLevel):
         return value
     if isinstance(value, str):
-        return ConsistencyLevel(value.upper())
+        try:
+            return ConsistencyLevel(value.upper())
+        except ValueError:
+            if strict:
+                valid = ", ".join(level.value for level in ConsistencyLevel)
+                raise ValueError(
+                    f"invalid consistency level {value!r}; expected one of {valid}"
+                ) from None
+            return None
+    if strict and value is not None:
+        raise ValueError(
+            f"invalid consistency level {value!r}; "
+            "expected a level name string or a ConsistencyLevel"
+        )
     return None
 
 
@@ -44,13 +64,20 @@ class PerRequestConsistencyOverride(RequestMiddleware):
         self._max_level = max_level
         self.overrides_applied = 0
         self.overrides_clamped = 0
+        self.overrides_invalid = 0
+        """Hints carrying an unrecognised level — counted and ignored, never
+        allowed to fail the request they rode in on."""
 
     def on_request(self, ctx: RequestContext) -> None:
         hints = ctx.hints
         if not hints:
             return
-        level = _coerce_level(hints.get(CONSISTENCY_HINT))
+        raw = hints.get(CONSISTENCY_HINT)
+        if raw is None:
+            return
+        level = _coerce_level(raw)
         if level is None:
+            self.overrides_invalid += 1
             return
         if self._max_level is not None and level.strictness > self._max_level.strictness:
             level = self._max_level
@@ -64,6 +91,8 @@ class PerRequestConsistencyOverride(RequestMiddleware):
             "name": self.name,
             "max_level": self._max_level.value if self._max_level else None,
             "overrides_applied": self.overrides_applied,
+            "overrides_clamped": self.overrides_clamped,
+            "overrides_invalid": self.overrides_invalid,
         }
 
 
@@ -71,5 +100,8 @@ class PerRequestConsistencyOverride(RequestMiddleware):
 def _build_consistency_override(
     ctx: MiddlewareBuildContext,
 ) -> PerRequestConsistencyOverride:
-    max_level = _coerce_level(ctx.params.get("max_level"))
+    try:
+        max_level = _coerce_level(ctx.params.get("max_level"), strict=True)
+    except ValueError as exc:
+        raise ValueError(f"consistency-override middleware: bad max_level: {exc}") from None
     return PerRequestConsistencyOverride(max_level=max_level)

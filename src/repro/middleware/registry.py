@@ -37,6 +37,7 @@ __all__ = [
     "DEFAULT_REQUEST_PIPELINE",
     "LATENCY_AWARE_PIPELINE",
     "CONSISTENCY_OVERRIDE_PIPELINE",
+    "HEDGED_PIPELINE",
 ]
 
 #: The stack that reproduces the pre-pipeline coordinator bit-identically.
@@ -73,6 +74,22 @@ CONSISTENCY_OVERRIDE_PIPELINE: Tuple[str, ...] = (
 )
 
 
+#: The tail-latency stack: latency-aware read routing plus speculative
+#: (hedged) backup reads and RTT-aware write fan-out/coordinator preference,
+#: all driven by one shared per-node EWMA RTT tracker.  Deterministic — no
+#: stage draws from an RNG stream.
+HEDGED_PIPELINE: Tuple[str, ...] = (
+    "latency-aware-selection",
+    "request-hedging",
+    "rtt-aware-write-routing",
+    "consistency",
+    "hinted-handoff",
+    "read-repair",
+    "staleness",
+    "monitoring-hooks",
+)
+
+
 class UnknownMiddlewareError(KeyError):
     """Raised when a pipeline names a middleware nobody registered."""
 
@@ -86,6 +103,12 @@ class MiddlewareBuildContext:
     coordinator: Optional["RequestCoordinator"] = None
     params: Dict[str, object] = field(default_factory=dict)
     """Per-middleware construction parameters (``middleware_params[name]``)."""
+
+    shared: Dict[str, object] = field(default_factory=dict)
+    """Cross-stage build state: :func:`build_pipeline` hands every stage of
+    one pipeline the same dict, so factories can share expensive or
+    single-writer objects (e.g. the per-node RTT tracker the latency router,
+    the hedger and the write router all rank by)."""
 
 
 _FACTORIES: Dict[str, Callable[[MiddlewareBuildContext], RequestMiddleware]] = {}
@@ -145,12 +168,14 @@ def build_pipeline(
     """
     params = params or {}
     middlewares = []
+    shared = context.shared
     for name in names:
         stage_context = MiddlewareBuildContext(
             simulator=context.simulator,
             cluster=context.cluster,
             coordinator=context.coordinator,
             params=dict(params.get(name, {})),
+            shared=shared,
         )
         middlewares.append(build_middleware(name, stage_context))
     return MiddlewarePipeline(middlewares)

@@ -1,0 +1,125 @@
+"""RTT-aware write fan-out ordering and coordinator preference (snitch-style).
+
+Writes fan out to *all* live replicas, so replica choice is off the table —
+but two latency levers remain on the request path:
+
+* **Fan-out order.**  With CL=ONE/QUORUM the write completes after the first
+  ``required_acks`` acknowledgements; sending to the lowest-RTT replicas
+  first means those acks are the ones raced for, and a fail-slow replica's
+  ack is the one the client never waits on.
+* **Coordinator preference.**  Every operation pays the client→coordinator
+  hop before any replica work starts.  Preferring coordinators that have
+  been answering fast (by the same per-node EWMA estimates) trims that
+  first hop, with a badness threshold plus rotation so the preference never
+  herds all requests onto a single node.
+
+Both decisions are pure functions of the shared :class:`NodeRttTracker`
+state — EWMA order with node-id ties, unknown nodes kept in rotation — so
+the stage draws from no RNG stream and adding it never perturbs other
+streams (PERFORMANCE.md rule 3).  Message *counts* are unchanged (writes
+still reach every live replica); only ordering and coordinator choice move.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import RequestContext, RequestMiddleware
+from .latency import NodeRttTracker, shared_node_tracker
+from .registry import MiddlewareBuildContext, register_middleware
+
+__all__ = ["RttAwareWriteRouting"]
+
+
+class RttAwareWriteRouting(RequestMiddleware):
+    """Order write fan-out and prefer coordinators by per-node RTT estimates."""
+
+    name = "rtt-aware-write-routing"
+
+    def __init__(
+        self,
+        tracker: NodeRttTracker,
+        badness_threshold: float = 0.5,
+        observe: bool = False,
+    ) -> None:
+        if badness_threshold < 0.0:
+            raise ValueError(f"badness_threshold must be >= 0, got {badness_threshold}")
+        self._tracker = tracker
+        self._badness_threshold = float(badness_threshold)
+        self._observe = bool(observe)
+        self._rotation = 0
+        self.writes_ordered = 0
+        """Writes whose fan-out order this middleware rewrote."""
+
+        self.coordinators_preferred = 0
+        """Operations steered to a preferred (healthy, low-RTT) coordinator."""
+
+    @property
+    def tracker(self) -> NodeRttTracker:
+        """The per-node RTT estimates backing both decisions."""
+        return self._tracker
+
+    def _rank(self, node_id: str) -> Tuple[int, float, str]:
+        estimate = self._tracker.estimate_or_none(node_id)
+        if estimate is None:
+            return (1, 0.0, node_id)  # unknown nodes rank after sampled ones
+        return (0, estimate, node_id)
+
+    def order_write_targets(
+        self, ctx: RequestContext, live: Sequence[str]
+    ) -> Optional[List[str]]:
+        ordered = sorted(live, key=self._rank)
+        self.writes_ordered += 1
+        return ordered
+
+    def preferred_coordinator(self, serving: Sequence[str]) -> Optional[str]:
+        if len(serving) <= 1:
+            return None
+        estimate_or_none = self._tracker.estimate_or_none
+        known: List[str] = []
+        unknown: List[str] = []
+        for node_id in serving:
+            (unknown if estimate_or_none(node_id) is None else known).append(node_id)
+        if not known:
+            return None  # no RTT signal at all: leave round-robin alone
+        estimate = self._tracker.estimate
+        ranked = sorted(known, key=lambda node_id: (estimate(node_id), node_id))
+        cutoff = estimate(ranked[0]) * (1.0 + self._badness_threshold)
+        healthy = len(ranked)
+        while healthy > 1 and estimate(ranked[healthy - 1]) > cutoff:
+            healthy -= 1
+        # Unknown nodes stay in the pool (so they keep serving and get
+        # sampled); only meaningfully-slow sampled nodes are skipped.
+        pool = ranked[:healthy] + sorted(unknown)
+        if len(pool) == len(serving):
+            return None  # nobody to avoid: keep the cluster's own rotation
+        self.coordinators_preferred += 1
+        choice = pool[self._rotation % len(pool)]
+        self._rotation += 1
+        return choice
+
+    def on_replica_response(self, ctx: RequestContext, node_id: str, rtt: float) -> None:
+        # Feed the shared tracker only when no earlier stage already does.
+        if self._observe:
+            self._tracker.observe(node_id, rtt)
+
+    def on_node_removed(self, node_id: str) -> None:
+        self._tracker.forget(node_id)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "badness_threshold": self._badness_threshold,
+            "writes_ordered": self.writes_ordered,
+            "coordinators_preferred": self.coordinators_preferred,
+        }
+
+
+@register_middleware("rtt-aware-write-routing")
+def _build_rtt_aware_write_routing(ctx: MiddlewareBuildContext) -> RttAwareWriteRouting:
+    tracker, created = shared_node_tracker(ctx, alpha=float(ctx.params.get("alpha", 0.3)))
+    return RttAwareWriteRouting(
+        tracker,
+        badness_threshold=float(ctx.params.get("badness_threshold", 0.5)),
+        observe=created,
+    )

@@ -432,6 +432,7 @@ class RttEstimator(ConsistencyEstimator, ClusterListener):
         ConsistencyEstimator.__init__(self, simulator, self._config.report_interval)
         self._cluster = cluster
         self._write_latencies = WindowedPercentiles(window=512)
+        self._read_latencies = WindowedPercentiles(window=512)
         self._node_tracker = None
         cluster.add_listener(self)
 
@@ -454,8 +455,25 @@ class RttEstimator(ConsistencyEstimator, ClusterListener):
         return self._node_tracker.snapshot()
 
     def on_operation_completed(self, result: object) -> None:
-        if isinstance(result, WriteResult) and result.success and not result.operation.is_probe:
+        if not isinstance(result, (WriteResult, ReadResult)):
+            return
+        if result.operation.is_probe or not result.success:
+            return
+        if isinstance(result, WriteResult):
             self._write_latencies.observe(result.latency)
+        else:
+            self._read_latencies.observe(result.latency)
+
+    def read_latency_percentile(self, q: float) -> float:
+        """Observed production read-latency percentile (0.0 before any read).
+
+        This is the budget source for the request-hedging middleware: arming
+        the hedge timer at the p99 read latency means roughly one read in a
+        hundred hedges, the classic "tail at scale" operating point.
+        """
+        if self._read_latencies.count == 0:
+            return 0.0
+        return self._read_latencies.percentile(q)
 
     def _build_estimate(self, now: float) -> WindowEstimate:
         metrics = self._cluster.cluster_metrics()

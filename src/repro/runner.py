@@ -88,6 +88,11 @@ class SimulationConfig:
     ``cluster.middleware`` as configured; setting this overrides it).  The
     default stack reproduces the classic request path bit-identically."""
 
+    middleware_params: Optional[Dict[str, Dict[str, object]]] = None
+    """Per-middleware construction parameters, keyed by middleware name
+    (e.g. ``{"request-hedging": {"budget_fraction": 0.02}}``).  ``None``
+    keeps ``cluster.middleware_params`` as configured."""
+
 
 @dataclass
 class SimulationReport:
@@ -195,6 +200,14 @@ class Simulation:
             cluster_config = dataclasses.replace(
                 cluster_config, middleware=tuple(self.config.middleware)
             )
+        if self.config.middleware_params is not None:
+            cluster_config = dataclasses.replace(
+                cluster_config,
+                middleware_params={
+                    name: dict(params)
+                    for name, params in self.config.middleware_params.items()
+                },
+            )
         self.simulator = Simulator(seed=self.config.seed)
         self.cluster = Cluster(self.simulator, cluster_config)
         self.fault_injector = FaultInjector(self.simulator, self.cluster)
@@ -239,11 +252,27 @@ class Simulation:
             rtt = RttEstimator(self.simulator, self.cluster)
             self.estimators[rtt.name] = rtt
             self.overhead.register(rtt)
-            # When the pipeline routes reads by latency, share its per-node
-            # RTT view with the model-based estimator's reporting surface.
-            latency_mw = self.cluster.pipeline.get("latency-aware-selection")
-            if latency_mw is not None:
-                rtt.attach_node_tracker(latency_mw.tracker)
+            # When the pipeline routes by latency, share its per-node RTT
+            # view with the model-based estimator's reporting surface.  All
+            # RTT-driven stages of one pipeline share a single tracker, so
+            # the first one found is the tracker.
+            for stage_name in (
+                "latency-aware-selection",
+                "request-hedging",
+                "rtt-aware-write-routing",
+            ):
+                stage = self.cluster.pipeline.get(stage_name)
+                if stage is not None:
+                    rtt.attach_node_tracker(stage.tracker)
+                    break
+            # Hedged reads arm their timer at the observed p99 read latency
+            # (clamped to the stage's static budget) instead of the static
+            # fraction-of-timeout guess.
+            hedging = self.cluster.pipeline.get("request-hedging")
+            if hedging is not None:
+                hedging.attach_budget_source(
+                    lambda: rtt.read_latency_percentile(99.0)
+                )
 
         # Cost accounting.
         self.cost = CostAccountant(
