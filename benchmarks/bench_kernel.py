@@ -194,6 +194,41 @@ def bench_hedged_stack(duration: float = 300.0, seed: int = 42) -> dict:
     }
 
 
+def bench_tenant_stack(duration: float = 300.0, seed: int = 42) -> dict:
+    """Like :func:`bench_end_to_end` but multi-tenant with admission control.
+
+    Every operation additionally draws a tenant (one uniform on a dedicated
+    stream + a cumulative-weight search), carries tenant hints through the
+    pipeline, pays the admission stage's token-bucket check and feeds the
+    per-tenant rollup.  This section keeps that per-operation overhead
+    honest under the same regression gate as the default stack.
+    """
+    from repro.middleware import ADMISSION_CONTROL_PIPELINE
+    from repro.workload.tenants import TenantSpec
+
+    config = SimulationConfig(seed=seed, duration=duration)
+    config.workload.tenants = TenantSpec(tenants=200, records_per_tenant=25)
+    config.middleware = ADMISSION_CONTROL_PIPELINE
+    simulation = Simulation(config)
+    start = time.perf_counter()
+    report = simulation.run()
+    wall = time.perf_counter() - start
+    completed = report.workload_summary["operations_completed"]
+    admission = simulation.pipeline.get("admission-control")
+    return {
+        "sim_duration": duration,
+        "seed": seed,
+        "tenants": 200,
+        "wall_seconds": round(wall, 4),
+        "operations_completed": int(completed),
+        "ops_per_sec": round(completed / wall, 1),
+        "events_processed": report.events_processed,
+        "events_per_sec": round(report.events_processed / wall, 1),
+        "operations_rejected": int(report.workload_summary["operations_rejected"]),
+        "tenants_tracked": admission.tenants_tracked if admission else 0,
+    }
+
+
 # ----------------------------------------------------------------------
 # Recording + regression gate
 # ----------------------------------------------------------------------
@@ -214,6 +249,7 @@ def _check_regression(previous: dict, current: dict) -> list[str]:
         ("end-to-end ops/sec", "end_to_end", "ops_per_sec"),
         ("end-to-end events/sec", "end_to_end", "events_per_sec"),
         ("hedged-stack ops/sec", "hedged", "ops_per_sec"),
+        ("tenant-stack ops/sec", "tenant", "ops_per_sec"),
     ]
     for label, section, key in pairs:
         old = previous.get(section, {}).get(key)
@@ -279,6 +315,18 @@ def main(argv: list[str] | None = None) -> int:
             flush=True,
         )
 
+        print(
+            f"end-to-end tenant stack ({e2e_duration:.0f} sim-seconds, "
+            "200 tenants + admission control)...",
+            flush=True,
+        )
+        result["tenant"] = bench_tenant_stack(duration=e2e_duration)
+        print(
+            f"  {result['tenant']['ops_per_sec']:,.0f} ops/sec, "
+            f"{result['tenant']['events_per_sec']:,.0f} events/sec",
+            flush=True,
+        )
+
     if args.json is not None:
         previous = None
         if args.json.exists():
@@ -301,7 +349,7 @@ def main(argv: list[str] | None = None) -> int:
             if args.skip_end_to_end:
                 # Keep the recorded end-to-end trajectory (and its regression
                 # gate) intact across kernel-only iterations.
-                for section in ("end_to_end", "hedged"):
+                for section in ("end_to_end", "hedged", "tenant"):
                     if section in previous:
                         result[section] = previous[section]
             problems = _check_regression(previous, result)

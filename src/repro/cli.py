@@ -17,8 +17,13 @@ Two subcommands cover the common workflows without writing any Python:
             --middleware replica-selection,consistency,consistency-override,hinted-handoff,read-repair,staleness,monitoring-hooks \
             --consistency-override read=ONE --consistency-override update=QUORUM
 
+    A multi-tenant run draws every operation from a skewed tenant population
+    and (optionally) shields co-tenants with per-tenant token buckets::
+
+        python -m repro.cli run --tenants 200 --admission-control
+
 ``experiment``
-    Run one of the E1–E7 experiments (or ``all``) and print its regenerated
+    Run one of the E1–E8 experiments (or ``all``) and print its regenerated
     tables::
 
         python -m repro.cli experiment E5 --scale 0.35
@@ -39,6 +44,7 @@ from .cluster.node import NodeConfig
 from .cluster.types import ConsistencyLevel
 from .core.controller import ControllerConfig
 from .middleware import (
+    ADMISSION_CONTROL_PIPELINE,
     CONSISTENCY_OVERRIDE_PIPELINE,
     HEDGED_PIPELINE,
     available_middlewares,
@@ -46,6 +52,7 @@ from .middleware import (
 from .experiments import EXPERIMENTS, run_all_experiments
 from .runner import Simulation, SimulationConfig
 from .workload.generator import CONSISTENCY_OVERRIDE_KINDS, WorkloadSpec
+from .workload.tenants import TenantSpec
 from .workload.load_shapes import ConstantLoad, DiurnalLoad, FlashCrowdLoad
 from .workload.operations import BALANCED, READ_HEAVY, WRITE_HEAVY
 
@@ -123,9 +130,37 @@ def build_parser() -> argparse.ArgumentParser:
             "explicitly (which must then include consistency-override)"
         ),
     )
+    run_parser.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run a multi-tenant workload with N tenants (Zipf-skewed "
+            "popularity, gold/silver/bronze SLO tiers assigned by rank); "
+            "omitted = the classic single-tenant workload"
+        ),
+    )
+    run_parser.add_argument(
+        "--tenant-skew",
+        type=float,
+        default=1.1,
+        metavar="THETA",
+        help="Zipf-like skew of tenant popularity (only with --tenants)",
+    )
+    run_parser.add_argument(
+        "--admission-control",
+        action="store_true",
+        help=(
+            "install per-tenant token-bucket admission control with "
+            "tier-derived quotas; implies the admission-control pipeline "
+            "unless --middleware names one explicitly (which must then "
+            "include admission-control); requires --tenants"
+        ),
+    )
     run_parser.add_argument("--json", action="store_true", help="print the full report as JSON")
 
-    experiment_parser = subparsers.add_parser("experiment", help="run an E1-E7 experiment")
+    experiment_parser = subparsers.add_parser("experiment", help="run an E1-E8 experiment")
     experiment_parser.add_argument(
         "experiment", choices=sorted(EXPERIMENTS) + ["all"], help="experiment id"
     )
@@ -201,6 +236,25 @@ def build_simulation_config(args: argparse.Namespace) -> SimulationConfig:
                 "--hedge-reads requires the request-hedging middleware; "
                 "add it to --middleware or drop the flag"
             )
+    tenants = getattr(args, "tenants", None)
+    if getattr(args, "admission_control", False):
+        if tenants is None:
+            raise SystemExit(
+                "--admission-control requires --tenants (quotas are keyed by "
+                "tenant identity)"
+            )
+        if middleware is None:
+            middleware = ADMISSION_CONTROL_PIPELINE
+        elif "admission-control" not in middleware:
+            raise SystemExit(
+                "--admission-control requires the admission-control "
+                "middleware; add it to --middleware or drop the flag"
+            )
+    tenant_spec = None
+    if tenants is not None:
+        tenant_spec = TenantSpec(
+            tenants=tenants, popularity_skew=getattr(args, "tenant_skew", 1.1)
+        )
     middleware_params = None
     budget_fraction = getattr(args, "hedge_budget_fraction", None)
     if budget_fraction is not None:
@@ -225,6 +279,7 @@ def build_simulation_config(args: argparse.Namespace) -> SimulationConfig:
             operation_mix=_MIXES[args.mix],
             load_shape=_build_load_shape(args),
             consistency_overrides=overrides,
+            tenants=tenant_spec,
         ),
         controller=ControllerConfig(policy=args.policy),
         middleware=middleware,

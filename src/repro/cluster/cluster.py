@@ -542,6 +542,31 @@ class Cluster:
         )
         return None
 
+    def set_admission_tier_scale(
+        self, tier: str, scale: float
+    ) -> Optional[Tuple[float, float]]:
+        """Scale one SLO tier's admission quota (controller lever).
+
+        Returns ``(previous_scale, applied_scale)``, or ``None`` when the
+        request pipeline carries no ``admission-control`` stage (the lever
+        does not exist in this deployment).
+        """
+        stage = self.pipeline.get("admission-control")
+        if stage is None or not hasattr(stage, "set_tier_scale"):
+            return None
+        previous = stage.tier_scale(tier)
+        applied = stage.set_tier_scale(tier, scale)
+        if applied != previous:
+            self._notify_reconfiguration(
+                {
+                    "action": "set_tier_quota_scale",
+                    "tier": tier,
+                    "from": previous,
+                    "to": applied,
+                }
+            )
+        return previous, applied
+
     def add_node(
         self, node_config: Optional[NodeConfig] = None
     ) -> Tuple[str, Optional[StreamSession]]:
@@ -808,10 +833,14 @@ class Cluster:
 
     def configuration_snapshot(self) -> Dict[str, object]:
         """The currently active configuration (for reports and the controller)."""
-        return {
+        snapshot: Dict[str, object] = {
             "node_count": len(self.serving_node_ids()),
             "replication_factor": self._replication_factor,
             "read_consistency": self._read_consistency.value,
             "write_consistency": self._write_consistency.value,
             "middleware": list(self.pipeline.names()),
         }
+        admission = self.pipeline.get("admission-control")
+        if admission is not None and hasattr(admission, "tier_scales"):
+            snapshot["admission_tier_scales"] = admission.tier_scales()
+        return snapshot

@@ -35,7 +35,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from ..middleware.base import MiddlewarePipeline, RequestContext
+from ..middleware.base import (
+    TENANT_HINT,
+    TENANT_TIER_HINT,
+    MiddlewarePipeline,
+    RequestContext,
+)
 from ..middleware.builtin import default_coordinator_pipeline
 from ..simulation.engine import Simulator
 from ..simulation.events import EventHandle
@@ -178,6 +183,8 @@ class RequestCoordinator:
         self.reads_started = 0
         self.writes_failed = 0
         self.reads_failed = 0
+        self.writes_rejected = 0
+        self.reads_rejected = 0
         self.unavailable_errors = 0
         self.timeouts = 0
         self.hinted_writes = 0
@@ -264,6 +271,11 @@ class RequestCoordinator:
             consistency_level=consistency_level,
             hints=hints,
         )
+        if hints is not None:
+            tenant = hints.get(TENANT_HINT)
+            if tenant is not None:
+                request.tenant = tenant
+                request.tenant_tier = hints.get(TENANT_TIER_HINT)
         self._pipeline.on_request(request)
         result = WriteResult(
             key=key,
@@ -274,12 +286,14 @@ class RequestCoordinator:
             coordinator=coordinator_id,
             consistency_level=request.consistency_level,
         )
+        if request.tenant is not None:
+            result.tenant = request.tenant
         request.result = result
         context = _WriteContext(
             result=result, request=request, required_acks=1, on_complete=on_complete
         )
         if request.rejection is not None:
-            self._fail_write(context, request.rejection)
+            self._reject_write(context, request.rejection)
             return
 
         def _start() -> None:
@@ -466,6 +480,21 @@ class RequestCoordinator:
         self.writes_failed += 1
         self._finish_write(context)
 
+    def _reject_write(self, context: _WriteContext, reason: str) -> None:
+        """Shed one write before fan-out (admission control), not a failure.
+
+        Rejections happen synchronously inside ``execute_write`` — no timeout
+        is armed and no replica was contacted — so the only bookkeeping is
+        the distinct ``rejected`` accounting and the completion hooks.
+        """
+        context.completed = True
+        context.result.completed_at = self._simulator.now
+        context.result.success = False
+        context.result.rejected = True
+        context.result.error = reason
+        self.writes_rejected += 1
+        self._finish_write(context)
+
     def _finish_write(self, context: _WriteContext) -> None:
         self._pipeline.on_complete(context.request, context.result)
         if context.on_complete is not None:
@@ -497,6 +526,11 @@ class RequestCoordinator:
             consistency_level=consistency_level,
             hints=hints,
         )
+        if hints is not None:
+            tenant = hints.get(TENANT_HINT)
+            if tenant is not None:
+                request.tenant = tenant
+                request.tenant_tier = hints.get(TENANT_TIER_HINT)
         self._pipeline.on_request(request)
         result = ReadResult(
             key=key,
@@ -507,12 +541,14 @@ class RequestCoordinator:
             coordinator=coordinator_id,
             consistency_level=request.consistency_level,
         )
+        if request.tenant is not None:
+            result.tenant = request.tenant
         request.result = result
         context = _ReadContext(
             result=result, request=request, required_responses=1, on_complete=on_complete
         )
         if request.rejection is not None:
-            self._fail_read(context, request.rejection)
+            self._reject_read(context, request.rejection)
             return
 
         def _start() -> None:
@@ -746,6 +782,16 @@ class RequestCoordinator:
         context.result.success = False
         context.result.error = error
         self.reads_failed += 1
+        self._finish_read(context)
+
+    def _reject_read(self, context: _ReadContext, reason: str) -> None:
+        """Shed one read before fan-out (admission control), not a failure."""
+        context.completed = True
+        context.result.completed_at = self._simulator.now
+        context.result.success = False
+        context.result.rejected = True
+        context.result.error = reason
+        self.reads_rejected += 1
         self._finish_read(context)
 
     def _finish_read(self, context: _ReadContext) -> None:

@@ -138,6 +138,17 @@ class OperationResult:
     replicas_responded: int = 0
     consistency_level: Optional[ConsistencyLevel] = None
     error: Optional[str] = None
+    rejected: bool = False
+    """True when admission control shed this request before fan-out.
+
+    Rejected operations are *not* failures: they are intentional load
+    shedding and are accounted separately everywhere (``WorkloadStats``,
+    monitoring snapshots, ``build_report()``) so SLO attainment is not
+    polluted by the quota mechanism doing its job.
+    """
+
+    tenant: Optional[str] = None
+    """Issuing tenant's id (``None`` for tenantless workloads)."""
 
     @property
     def latency(self) -> float:

@@ -32,6 +32,7 @@ __all__ = [
     "SetReadConsistencyAction",
     "SetWriteConsistencyAction",
     "SetReplicationFactorAction",
+    "SetTierQuotaScaleAction",
     "NoAction",
 ]
 
@@ -43,6 +44,7 @@ class ActionKind(enum.Enum):
     SCALE_IN = "scale_in"
     CONSISTENCY = "consistency"
     REPLICATION = "replication"
+    ADMISSION = "admission"
     NONE = "none"
 
 
@@ -242,6 +244,56 @@ class SetReplicationFactorAction(ReconfigurationAction):
         if session is not None:
             detail["fill_keys"] = session.total_keys
         return self._outcome(time, True, detail)
+
+
+class SetTierQuotaScaleAction(ReconfigurationAction):
+    """Scale one SLO tier's admission quota (1.0 = configured quota).
+
+    The cheapest overload lever: tightening a low tier's token buckets sheds
+    that tier's excess load immediately, without provisioning hardware or
+    weakening consistency.  Only applicable when the request pipeline carries
+    an ``admission-control`` stage; :meth:`Cluster.set_admission_tier_scale`
+    reports ``applied=False`` otherwise.
+    """
+
+    kind = ActionKind.ADMISSION
+    adds_network_traffic = False
+
+    def __init__(self, tier: str, scale: float) -> None:
+        if scale < 0.0:
+            raise ValueError("scale must be >= 0")
+        self._tier = tier
+        self._scale = scale
+        # Shedding load (scale < 1) relieves latency pressure; restoring quota
+        # (scale >= 1) re-admits load.  Cost is unchanged either way.
+        tightening = scale < 1.0
+        self.effect_on_latency = -1 if tightening else +1
+        self.effect_on_staleness = -1 if tightening else +1
+        self.effect_on_cost = 0
+
+    @property
+    def tier(self) -> str:
+        """SLO tier whose quota is scaled."""
+        return self._tier
+
+    @property
+    def scale(self) -> float:
+        """Target quota multiplier."""
+        return self._scale
+
+    def describe(self) -> str:
+        return f"set_tier_quota_scale:{self._tier}:{self._scale:g}"
+
+    def apply(self, cluster: Cluster, time: float) -> ActionOutcome:
+        result = cluster.set_admission_tier_scale(self._tier, self._scale)
+        if result is None:
+            return self._outcome(
+                time, False, error="no admission-control stage in pipeline"
+            )
+        previous, applied_scale = result
+        return self._outcome(
+            time, True, {"tier": self._tier, "from": previous, "to": applied_scale}
+        )
 
 
 class NoAction(ReconfigurationAction):

@@ -82,6 +82,7 @@ class AutonomousController:
         estimators: Optional[Dict[str, ConsistencyEstimator]] = None,
         offered_rate_fn: Optional[Callable[[], float]] = None,
         on_action: Optional[Callable[[ActionOutcome], None]] = None,
+        tenant_rollup: Optional[object] = None,
         auto_start: bool = True,
     ) -> None:
         self._simulator = simulator
@@ -105,6 +106,7 @@ class AutonomousController:
         self._estimators = estimators or {}
         self._offered_rate_fn = offered_rate_fn
         self._on_action = on_action
+        self._tenant_rollup = tenant_rollup
 
         self.observations: List[SystemObservation] = []
         self.analyses: List[AnalysisResult] = []
@@ -136,6 +138,15 @@ class AutonomousController:
     def register_estimator(self, estimator: ConsistencyEstimator) -> None:
         """Make an inconsistency-window estimator available to the monitor phase."""
         self._estimators[estimator.name] = estimator
+
+    def attach_tenant_rollup(self, rollup: object) -> None:
+        """Feed per-tenant SLO attainment (tier read p99) into the monitor phase.
+
+        ``rollup`` is duck-typed: anything with a ``tier_read_p99_ms()``
+        method works (normally
+        :class:`~repro.monitoring.metrics.TenantMetricsRollup`).
+        """
+        self._tenant_rollup = rollup
 
     # ------------------------------------------------------------------
     # MAPE-K round
@@ -178,6 +189,9 @@ class AutonomousController:
 
         configuration = self._cluster.configuration_snapshot()
         offered_rate = self._offered_rate_fn() if self._offered_rate_fn else 0.0
+        tier_p99: Dict[str, float] = {}
+        if self._tenant_rollup is not None:
+            tier_p99 = self._tenant_rollup.tier_read_p99_ms()
         return SystemObservation(
             time=self._simulator.now,
             read_p95_latency=snapshot.read_p95_latency,
@@ -198,6 +212,8 @@ class AutonomousController:
             read_consistency=str(configuration["read_consistency"]),
             write_consistency=str(configuration["write_consistency"]),
             pending_hints=snapshot.pending_hints,
+            rejected_fraction=snapshot.rejected_fraction,
+            tier_read_p99_ms=tier_p99,
         )
 
     # -- Execute ----------------------------------------------------------
@@ -262,6 +278,9 @@ class AutonomousController:
             ),
             "replication_actions": float(
                 sum(1 for outcome in executed if outcome.kind is ActionKind.REPLICATION)
+            ),
+            "admission_actions": float(
+                sum(1 for outcome in executed if outcome.kind is ActionKind.ADMISSION)
             ),
             "direction_flips": float(self.direction_flips()),
             **{f"guard.{key}": value for key, value in self.guard.stats().items()},

@@ -31,6 +31,7 @@ from .actions import (
     ReconfigurationAction,
     RemoveNodeAction,
     SetReadConsistencyAction,
+    SetTierQuotaScaleAction,
     SetWriteConsistencyAction,
 )
 from .analyzer import AnalysisResult, RootCause, Symptom
@@ -77,6 +78,16 @@ class PlannerConfig:
     max_nodes: int = 32
     prefer_read_strengthening: bool = True
     """Strengthen reads before writes (reads are cheaper to strengthen here)."""
+
+    quota_tighten_factor: float = 0.5
+    """Multiplier applied to a tier's quota scale per tightening step."""
+
+    quota_floor: float = 0.25
+    """Lowest quota scale arbitration may impose on any tier."""
+
+    quota_tighten_order: Tuple[str, ...] = ("bronze", "silver")
+    """Tiers eligible for quota tightening, cheapest (lowest SLO) first.
+    Gold is deliberately absent: the top tier is never shed by arbitration."""
 
 
 class SLAPlanner:
@@ -188,9 +199,14 @@ class SLAPlanner:
         target = self.derive_consistency_target(knowledge, sla, replication_factor)
         desired_nodes = self.desired_node_count(knowledge, current_nodes)
         congested = analysis.caused_by(RootCause.NETWORK_CONGESTION)
+        tier_scales = cluster_state.get("admission_tier_scales")
 
-        # Priority 1: availability emergencies -> capacity, immediately.
+        # Priority 1: availability emergencies -> shed low-tier load first
+        # (free and instant), then capacity.
         if analysis.has(Symptom.AVAILABILITY_VIOLATION):
+            shed = self._tighten_quota_action(tier_scales)
+            if shed is not None:
+                return [shed]
             if current_nodes < self.config.max_nodes and not congested:
                 return [AddNodeAction()]
             # Under congestion more traffic hurts; shed consistency cost instead.
@@ -237,10 +253,19 @@ class SLAPlanner:
                 action = self._relax_consistency_step(current_read, current_write, target)
                 if action is not None:
                     return [action]
-            if current_nodes < self.config.max_nodes and (
+            overloaded = (
                 analysis.caused_by(RootCause.CPU_SATURATION)
                 or observation.max_utilization >= self.config.scale_out_utilization
-                or desired_nodes > current_nodes
+            )
+            if overloaded:
+                # Arbitration: under genuine overload, tighten the cheapest
+                # tier's quota before paying for a node.  Latency caused by
+                # strict consistency (handled above) must not shed tenants.
+                shed = self._tighten_quota_action(tier_scales)
+                if shed is not None:
+                    return [shed]
+            if current_nodes < self.config.max_nodes and (
+                overloaded or desired_nodes > current_nodes
             ):
                 return [AddNodeAction()]
             return [NoAction()]
@@ -254,6 +279,11 @@ class SLAPlanner:
 
         # Priority 5: cost optimisation when everything has ample headroom.
         if analysis.has(Symptom.COST_WASTE):
+            # Undo arbitration first: re-admit shed tenant load before any
+            # other cost move, highest tier first.
+            restore = self._restore_quota_action(tier_scales)
+            if restore is not None:
+                return [restore]
             # First, relax consistency below the derived target is never
             # allowed — but if the current config is *stricter* than the
             # target, step down to stop paying latency for guarantees the
@@ -311,6 +341,46 @@ class SLAPlanner:
             return SetWriteConsistencyAction(
                 _next_level_down(current_write, target.write_level), strengthening=False
             )
+        return None
+
+    def _tighten_quota_action(
+        self, tier_scales: Optional[object]
+    ) -> Optional[ReconfigurationAction]:
+        """One quota-tightening step on the cheapest still-sheddable tier.
+
+        ``tier_scales`` is the ``admission_tier_scales`` entry of the cluster
+        configuration snapshot; ``None`` (no admission stage) disables
+        arbitration entirely.
+        """
+        if not isinstance(tier_scales, dict) or not tier_scales:
+            return None
+        for tier in self.config.quota_tighten_order:
+            scale = tier_scales.get(tier)
+            if scale is None:
+                continue
+            scale = float(scale)
+            if scale > self.config.quota_floor + 1e-9:
+                new_scale = max(
+                    self.config.quota_floor, scale * self.config.quota_tighten_factor
+                )
+                return SetTierQuotaScaleAction(tier, new_scale)
+        return None
+
+    def _restore_quota_action(
+        self, tier_scales: Optional[object]
+    ) -> Optional[ReconfigurationAction]:
+        """One quota-restoring step, reversing tightening highest tier first."""
+        if not isinstance(tier_scales, dict) or not tier_scales:
+            return None
+        factor = self.config.quota_tighten_factor
+        for tier in reversed(self.config.quota_tighten_order):
+            scale = tier_scales.get(tier)
+            if scale is None:
+                continue
+            scale = float(scale)
+            if scale < 1.0 - 1e-9:
+                new_scale = min(1.0, scale / factor) if factor > 0.0 else 1.0
+                return SetTierQuotaScaleAction(tier, new_scale)
         return None
 
     def _safe_to_scale_in(

@@ -68,6 +68,11 @@ class SystemObservation:
     read_consistency: str = ""
     write_consistency: str = ""
     pending_hints: int = 0
+    rejected_fraction: float = 0.0
+    """Fraction of operations shed by admission control (not failures)."""
+    tier_read_p99_ms: Dict[str, float] = field(default_factory=dict)
+    """Per-SLO-tier read p99 (milliseconds) from the tenant rollup, when a
+    multi-tenant workload is running.  Excluded from :meth:`as_dict`."""
 
     def as_dict(self) -> Dict[str, float]:
         """Flat numeric view (strings omitted) for time-series recording."""

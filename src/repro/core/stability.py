@@ -42,6 +42,7 @@ class StabilityConfig:
             ActionKind.SCALE_IN: 420.0,
             ActionKind.CONSISTENCY: 60.0,
             ActionKind.REPLICATION: 600.0,
+            ActionKind.ADMISSION: 90.0,
         }
     )
     """Minimum seconds between two actions of the same family."""

@@ -1,4 +1,4 @@
-"""Experiment harness (E1–E7).
+"""Experiment harness (E1–E8).
 
 The paper is a doctoral-symposium proposal without an evaluation section;
 these experiments operationalise its research questions and research-plan
@@ -19,6 +19,7 @@ from . import (
     e5_autoscaling,
     e6_predictive,
     e7_tail_latency,
+    e8_noisy_neighbour,
 )
 from .tables import ExperimentResult, ResultTable
 
@@ -32,6 +33,7 @@ __all__ = [
     "e5_autoscaling",
     "e6_predictive",
     "e7_tail_latency",
+    "e8_noisy_neighbour",
     "EXPERIMENTS",
     "run_all_experiments",
 ]
@@ -45,6 +47,7 @@ EXPERIMENTS = {
     "E5": e5_autoscaling,
     "E6": e6_predictive,
     "E7": e7_tail_latency,
+    "E8": e8_noisy_neighbour,
 }
 
 

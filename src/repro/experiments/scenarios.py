@@ -39,6 +39,7 @@ from ..workload.load_shapes import (
     NoisyLoad,
 )
 from ..workload.operations import BALANCED, READ_HEAVY, OperationMix
+from ..workload.tenants import TenantSpec
 
 __all__ = [
     "DEFAULT_NODE_CAPACITY",
@@ -48,6 +49,7 @@ __all__ = [
     "strict_sla",
     "relaxed_sla",
     "standard_workload",
+    "tenant_workload",
     "diurnal_with_flash_crowd",
     "build_config",
 ]
@@ -134,6 +136,46 @@ def standard_workload(
         operation_mix=mix,
         load_shape=shape or ConstantLoad(rate),
         mean_record_size=1024,
+    )
+
+
+def tenant_workload(
+    rate: float,
+    tenants: int = 40,
+    records_per_tenant: int = 40,
+    mix: OperationMix = READ_HEAVY,
+    noisy_tenant: Optional[int] = None,
+    burst_rate: float = 0.0,
+    burst_start: float = 60.0,
+    burst_hold: float = 180.0,
+) -> WorkloadSpec:
+    """A multi-tenant workload, optionally with one noisy neighbour.
+
+    ``noisy_tenant`` (a tenant index; pick a high index to land in the
+    bronze tier, which is assigned by popularity rank) gets a
+    :class:`FlashCrowdLoad` burst of ``burst_rate`` extra ops/s layered on
+    top of its organic share of the base load.  Used by experiment E8.
+    """
+    overrides = {}
+    if noisy_tenant is not None and burst_rate > 0.0:
+        overrides[noisy_tenant] = FlashCrowdLoad(
+            base_rate=0.0,
+            spike_rate=burst_rate,
+            spike_start=burst_start,
+            ramp_duration=10.0,
+            hold_duration=burst_hold,
+            decay_duration=30.0,
+        )
+    return WorkloadSpec(
+        key_distribution="zipfian",
+        operation_mix=mix,
+        load_shape=ConstantLoad(rate),
+        mean_record_size=1024,
+        tenants=TenantSpec(
+            tenants=tenants,
+            records_per_tenant=records_per_tenant,
+            load_shape_overrides=overrides,
+        ),
     )
 
 

@@ -11,7 +11,14 @@ or ``repro.cli run --middleware ...``).
 See ARCHITECTURE.md for the layer stack and a custom-middleware walkthrough.
 """
 
-from .base import MiddlewarePipeline, RequestContext, RequestMiddleware
+from .admission import AdmissionControl, TokenBucket
+from .base import (
+    TENANT_HINT,
+    TENANT_TIER_HINT,
+    MiddlewarePipeline,
+    RequestContext,
+    RequestMiddleware,
+)
 from .builtin import (
     ConsistencyEnforcement,
     HintedHandoffMiddleware,
@@ -25,6 +32,7 @@ from .hedging import RequestHedging
 from .latency import LatencyAwareReplicaSelection, NodeRttTracker, shared_node_tracker
 from .overrides import CONSISTENCY_HINT, PerRequestConsistencyOverride
 from .registry import (
+    ADMISSION_CONTROL_PIPELINE,
     CONSISTENCY_OVERRIDE_PIPELINE,
     DEFAULT_REQUEST_PIPELINE,
     HEDGED_PIPELINE,
@@ -54,6 +62,7 @@ __all__ = [
     "LATENCY_AWARE_PIPELINE",
     "CONSISTENCY_OVERRIDE_PIPELINE",
     "HEDGED_PIPELINE",
+    "ADMISSION_CONTROL_PIPELINE",
     "RandomReplicaSelection",
     "ConsistencyEnforcement",
     "HintedHandoffMiddleware",
@@ -68,4 +77,8 @@ __all__ = [
     "RttAwareWriteRouting",
     "PerRequestConsistencyOverride",
     "CONSISTENCY_HINT",
+    "AdmissionControl",
+    "TokenBucket",
+    "TENANT_HINT",
+    "TENANT_TIER_HINT",
 ]

@@ -60,7 +60,19 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type hints only
     from ..cluster.types import ConsistencyLevel, OperationResult, OperationType
 
-__all__ = ["RequestContext", "RequestMiddleware", "MiddlewarePipeline"]
+__all__ = [
+    "TENANT_HINT",
+    "TENANT_TIER_HINT",
+    "RequestContext",
+    "RequestMiddleware",
+    "MiddlewarePipeline",
+]
+
+#: Hint key carrying the issuing tenant's id (multi-tenant workloads only).
+TENANT_HINT = "tenant"
+
+#: Hint key carrying the issuing tenant's SLO tier name.
+TENANT_TIER_HINT = "tenant_tier"
 
 
 @dataclass(slots=True)
@@ -80,6 +92,13 @@ class RequestContext:
 
     hints: Optional[Mapping[str, object]] = None
     """Caller-supplied per-request hints (e.g. the workload's CL override)."""
+
+    tenant: Optional[str] = None
+    """Issuing tenant's id (from the ``TENANT_HINT`` hint; ``None`` when the
+    workload is tenantless — the default single-tenant stack never sets it)."""
+
+    tenant_tier: Optional[str] = None
+    """Issuing tenant's SLO tier name (rides along with ``tenant``)."""
 
     result: Optional["OperationResult"] = None
     """The client-visible result record, once the coordinator created it."""

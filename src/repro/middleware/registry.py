@@ -38,6 +38,7 @@ __all__ = [
     "LATENCY_AWARE_PIPELINE",
     "CONSISTENCY_OVERRIDE_PIPELINE",
     "HEDGED_PIPELINE",
+    "ADMISSION_CONTROL_PIPELINE",
 ]
 
 #: The stack that reproduces the pre-pipeline coordinator bit-identically.
@@ -82,6 +83,21 @@ HEDGED_PIPELINE: Tuple[str, ...] = (
     "latency-aware-selection",
     "request-hedging",
     "rtt-aware-write-routing",
+    "consistency",
+    "hinted-handoff",
+    "read-repair",
+    "staleness",
+    "monitoring-hooks",
+)
+
+
+#: The multi-tenant stack: per-tenant token-bucket admission control ahead of
+#: the default request path.  Admission runs first so rejected requests never
+#: reach replica selection or fan-out.  Deterministic — the bucket refill is
+#: a pure function of simulated time, no RNG stream is consumed.
+ADMISSION_CONTROL_PIPELINE: Tuple[str, ...] = (
+    "admission-control",
+    "replica-selection",
     "consistency",
     "hinted-handoff",
     "read-repair",

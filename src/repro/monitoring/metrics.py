@@ -25,7 +25,12 @@ from ..simulation.engine import Simulator
 from ..simulation.timeseries import TimeSeries, TimeSeriesBundle
 from .percentiles import WindowedPercentiles
 
-__all__ = ["MetricsConfig", "MetricsSnapshot", "MetricsCollector"]
+__all__ = [
+    "MetricsConfig",
+    "MetricsSnapshot",
+    "MetricsCollector",
+    "TenantMetricsRollup",
+]
 
 
 @dataclass
@@ -60,6 +65,10 @@ class MetricsSnapshot:
     network_congestion: float
     stale_read_fraction: float
     digest_mismatch_fraction: float
+    rejected_fraction: float = 0.0
+    """Fraction of window operations shed by admission control — kept apart
+    from ``failure_fraction`` so intentional load shedding never reads as
+    unavailability."""
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary used by the knowledge base and the reports."""
@@ -78,6 +87,7 @@ class MetricsSnapshot:
             "network_congestion": self.network_congestion,
             "stale_read_fraction": self.stale_read_fraction,
             "digest_mismatch_fraction": self.digest_mismatch_fraction,
+            "rejected_fraction": self.rejected_fraction,
         }
 
 
@@ -106,6 +116,7 @@ class MetricsCollector(ClusterListener):
         self._window_stale_reads = 0
         self._window_mismatches = 0
         self._window_operations = 0
+        self._window_rejected = 0
 
         self._last_snapshot: Optional[MetricsSnapshot] = None
         self._snapshots: List[MetricsSnapshot] = []
@@ -131,6 +142,9 @@ class MetricsCollector(ClusterListener):
             if result.operation.is_probe and not self._config.include_probe_operations:
                 return
             self._window_operations += 1
+            if result.rejected:
+                self._window_rejected += 1
+                return
             if not result.success:
                 self._window_failures += 1
                 return
@@ -145,6 +159,9 @@ class MetricsCollector(ClusterListener):
             if result.operation.is_probe and not self._config.include_probe_operations:
                 return
             self._window_operations += 1
+            if result.rejected:
+                self._window_rejected += 1
+                return
             if not result.success:
                 self._window_failures += 1
                 return
@@ -172,6 +189,11 @@ class MetricsCollector(ClusterListener):
             if self._window_operations
             else 0.0
         )
+        rejected_fraction = (
+            self._window_rejected / self._window_operations
+            if self._window_operations
+            else 0.0
+        )
         stale_fraction = (
             self._window_stale_reads / self._window_reads if self._window_reads else 0.0
         )
@@ -196,6 +218,7 @@ class MetricsCollector(ClusterListener):
             network_congestion=cluster_metrics["network_congestion"],
             stale_read_fraction=stale_fraction,
             digest_mismatch_fraction=mismatch_fraction,
+            rejected_fraction=rejected_fraction,
         )
         self._last_snapshot = snapshot
         self._snapshots.append(snapshot)
@@ -213,6 +236,7 @@ class MetricsCollector(ClusterListener):
         self._window_stale_reads = 0
         self._window_mismatches = 0
         self._window_operations = 0
+        self._window_rejected = 0
 
     # ------------------------------------------------------------------
     # Query API
@@ -232,3 +256,143 @@ class MetricsCollector(ClusterListener):
     def throughput_series(self) -> TimeSeries:
         """Throughput over time (ops/second per sampling window)."""
         return self.series.series("throughput_ops")
+
+
+class _RollupWork:
+    """One unit of rollup analysis work, billed like an estimator's estimate."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self, samples: int) -> None:
+        self.samples = samples
+
+
+@dataclass
+class _TenantCounters:
+    """Per-tenant volume counters kept by the rollup."""
+
+    operations: int = 0
+    rejected: int = 0
+    failed: int = 0
+
+
+class TenantMetricsRollup(ClusterListener):
+    """Per-tenant metrics rollup: top-K tenants by volume + per-tier latency.
+
+    A production multi-tenant store cannot afford a full latency histogram
+    per tenant; what operators actually dashboard is (a) who the heavy
+    hitters are and (b) whether each *SLO tier* is meeting its latency
+    objective.  This helper keeps exactly that: a counter triple per tenant
+    and one :class:`WindowedPercentiles` per tier.
+
+    Its compute is charged against the monitoring budget: it exposes the same
+    duck-typed surface (``name`` / ``estimates()`` / ``operations_issued()``)
+    the :class:`~repro.monitoring.overhead.MonitoringOverheadAccountant`
+    bills consistency estimators through, with one sample per observed
+    operation and the rollup itself as one produced estimate.
+    """
+
+    name = "tenant-rollup"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        tier_of: Optional[Dict[str, str]] = None,
+        tier_slos_ms: Optional[Dict[str, float]] = None,
+        latency_window: int = 1024,
+    ) -> None:
+        """``tier_of`` maps tenant id to tier name (e.g.
+        :meth:`~repro.workload.tenants.TenantPopulation.tier_lookup`);
+        ``tier_slos_ms`` optionally carries each tier's read-p99 objective so
+        :meth:`tier_summary` can report attainment."""
+        self._tier_of = dict(tier_of or {})
+        self._tier_slos_ms = dict(tier_slos_ms or {})
+        self._tenants: Dict[str, _TenantCounters] = {}
+        self._tier_read_latencies: Dict[str, WindowedPercentiles] = {}
+        self._latency_window = latency_window
+        self._samples = 0
+        cluster.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # ClusterListener hook
+    # ------------------------------------------------------------------
+    def on_operation_completed(self, result: object) -> None:
+        tenant = getattr(result, "tenant", None)
+        if tenant is None:
+            return
+        self._samples += 1
+        counters = self._tenants.get(tenant)
+        if counters is None:
+            counters = self._tenants[tenant] = _TenantCounters()
+        counters.operations += 1
+        if result.rejected:
+            counters.rejected += 1
+            return
+        if not result.success:
+            counters.failed += 1
+            return
+        if isinstance(result, ReadResult):
+            tier = self._tier_of.get(tenant, "default")
+            window = self._tier_read_latencies.get(tier)
+            if window is None:
+                window = self._tier_read_latencies[tier] = WindowedPercentiles(
+                    self._latency_window
+                )
+            window.observe(result.latency)
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def top_tenants(self, k: int = 10) -> List[Dict[str, object]]:
+        """The ``k`` highest-volume tenants with their counter triples."""
+        ranked = sorted(
+            self._tenants.items(), key=lambda item: (-item[1].operations, item[0])
+        )
+        return [
+            {
+                "tenant": tenant,
+                "tier": self._tier_of.get(tenant, "default"),
+                "operations": counters.operations,
+                "rejected": counters.rejected,
+                "failed": counters.failed,
+            }
+            for tenant, counters in ranked[: max(0, k)]
+        ]
+
+    def tier_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-tier read-latency summary (ms) with SLO attainment when known."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for tier, window in sorted(self._tier_read_latencies.items()):
+            stats = window.snapshot()
+            entry = {
+                "count": stats["count"],
+                "read_p50_ms": stats["p50"] * 1000.0,
+                "read_p95_ms": stats["p95"] * 1000.0,
+                "read_p99_ms": stats["p99"] * 1000.0,
+            }
+            slo = self._tier_slos_ms.get(tier)
+            if slo is not None:
+                entry["read_p99_slo_ms"] = slo
+                entry["slo_met"] = 1.0 if entry["read_p99_ms"] <= slo else 0.0
+            summary[tier] = entry
+        return summary
+
+    def tier_read_p99_ms(self) -> Dict[str, float]:
+        """Just the per-tier read p99 (ms), for the controller's observation."""
+        return {
+            tier: window.percentile(99) * 1000.0
+            for tier, window in self._tier_read_latencies.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Monitoring-budget surface (duck-typed like a ConsistencyEstimator)
+    # ------------------------------------------------------------------
+    def estimates(self) -> List[_RollupWork]:
+        """One work unit carrying every observed sample (for the accountant)."""
+        if self._samples == 0:
+            return []
+        return [_RollupWork(self._samples)]
+
+    def operations_issued(self) -> int:
+        """The rollup is passive: it issues no probe operations."""
+        return 0

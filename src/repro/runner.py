@@ -34,7 +34,7 @@ from .monitoring.estimators import (
     ReadAfterWriteProber,
     RttEstimator,
 )
-from .monitoring.metrics import MetricsCollector, MetricsConfig
+from .monitoring.metrics import MetricsCollector, MetricsConfig, TenantMetricsRollup
 from .monitoring.overhead import MonitoringOverheadAccountant
 from .simulation.engine import Simulator
 from .simulation.interference import InterferenceConfig, InterferenceController
@@ -111,6 +111,9 @@ class SimulationReport:
     estimator_estimates: Dict[str, Dict[str, float]]
     monitoring_overhead: Dict[str, Dict[str, float]]
     events_processed: int
+    tenant_summary: Dict[str, object] = field(default_factory=dict)
+    """Per-tenant rollup (top tenants, tier SLO attainment, admission stats);
+    empty for single-tenant runs."""
 
     def as_dict(self) -> Dict[str, object]:
         """Nested plain-dict view (JSON-serialisable)."""
@@ -130,6 +133,7 @@ class SimulationReport:
                 k: dict(v) for k, v in self.monitoring_overhead.items()
             },
             "events_processed": self.events_processed,
+            "tenants": dict(self.tenant_summary),
         }
 
     def headline(self) -> Dict[str, float]:
@@ -288,6 +292,34 @@ class Simulation:
         # Workload.
         self.workload = WorkloadGenerator(self.simulator, self.cluster, self.config.workload)
 
+        # Multi-tenant wiring: tier-derived quotas into the admission stage
+        # (unless the scenario pinned explicit quotas via middleware_params)
+        # and a per-tenant metrics rollup charged against the monitoring
+        # budget.  Absent a tenant population none of this exists, so the
+        # single-tenant stack is untouched.
+        self.tenant_rollup: Optional[TenantMetricsRollup] = None
+        tenant_spec = self.config.workload.tenants
+        if tenant_spec is not None and self.workload.population is not None:
+            admission = self.cluster.pipeline.get("admission-control")
+            explicit_quotas = "tiers" in self.cluster.config.middleware_params.get(
+                "admission-control", {}
+            )
+            if admission is not None and not explicit_quotas:
+                admission.configure_tiers(
+                    {
+                        tier.name: (tier.quota_rate, tier.quota_burst)
+                        for tier in tenant_spec.tiers
+                    }
+                )
+            self.tenant_rollup = TenantMetricsRollup(
+                self.cluster,
+                tier_of=self.workload.population.tier_lookup(),
+                tier_slos_ms={
+                    tier.name: tier.read_p99_slo_ms for tier in tenant_spec.tiers
+                },
+            )
+            self.overhead.register(self.tenant_rollup)
+
         # Controller (present even for the static baseline so the SLA is
         # evaluated identically across policies).
         self.controller = AutonomousController(
@@ -299,6 +331,7 @@ class Simulation:
             policy=policy,
             estimators={name: est for name, est in self.estimators.items()},
             offered_rate_fn=self.workload.current_rate,
+            tenant_rollup=self.tenant_rollup,
             auto_start=self.config.enable_controller,
         )
 
@@ -376,11 +409,27 @@ class Simulation:
         self.cost.add_sla_penalty(sla_penalty - self._billed_sla_penalty)
         self._billed_sla_penalty = sla_penalty
         cost_report = self.cost.report(end_time=now)
+        admission = self.cluster.pipeline.get("admission-control")
+        if admission is not None:
+            # Shed load is a first-class cost line: rejections are free for
+            # the cluster but not for the tenants they throttled.
+            cost_report.details["admission.rejected_operations"] = float(
+                admission.rejected
+            )
 
         estimator_estimates: Dict[str, Dict[str, float]] = {}
         for name, estimator in self.estimators.items():
             latest = estimator.latest()
             estimator_estimates[name] = latest.as_dict() if latest else {}
+
+        tenant_summary: Dict[str, object] = {}
+        if self.tenant_rollup is not None:
+            tenant_summary = {
+                "top_tenants": self.tenant_rollup.top_tenants(5),
+                "tier_summary": self.tenant_rollup.tier_summary(),
+            }
+            if admission is not None:
+                tenant_summary["admission"] = admission.describe()
 
         return SimulationReport(
             label=self.config.label,
@@ -398,4 +447,5 @@ class Simulation:
                 name: report.as_dict() for name, report in self.overhead.reports().items()
             },
             events_processed=self.simulator.events_processed,
+            tenant_summary=tenant_summary,
         )

@@ -8,7 +8,14 @@ from .distributions import (
     ZipfianKeys,
     make_distribution,
 )
-from .generator import WorkloadGenerator, WorkloadSpec, WorkloadStats
+from .generator import TenantOpStats, WorkloadGenerator, WorkloadSpec, WorkloadStats
+from .tenants import (
+    DEFAULT_TIERS,
+    TenantPopulation,
+    TenantProfile,
+    TenantSpec,
+    TenantTier,
+)
 from .load_shapes import (
     CompositeLoad,
     ConstantLoad,
@@ -47,4 +54,10 @@ __all__ = [
     "WorkloadSpec",
     "WorkloadStats",
     "WorkloadGenerator",
+    "TenantOpStats",
+    "TenantTier",
+    "DEFAULT_TIERS",
+    "TenantSpec",
+    "TenantProfile",
+    "TenantPopulation",
 ]

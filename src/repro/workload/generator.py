@@ -19,17 +19,20 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..cluster.types import ConsistencyLevel, OperationType, ReadResult, WriteResult
+from ..middleware.base import TENANT_HINT, TENANT_TIER_HINT
 from ..middleware.overrides import CONSISTENCY_HINT
 from ..simulation.engine import Simulator
 from ..simulation.timeseries import TimeSeries
 from .distributions import KeyDistribution, make_distribution
 from .load_shapes import ConstantLoad, LoadShape
 from .operations import OperationMix, READ_HEAVY, RecordSizer
+from .tenants import TenantPopulation, TenantProfile, TenantSpec
 
 __all__ = [
     "CONSISTENCY_OVERRIDE_KINDS",
     "WorkloadSpec",
     "WorkloadStats",
+    "TenantOpStats",
     "WorkloadGenerator",
 ]
 
@@ -110,6 +113,13 @@ class WorkloadSpec:
     cluster's pipeline includes the ``consistency-override`` middleware —
     the override capability belongs to the request path, not the client."""
 
+    tenants: Optional[TenantSpec] = None
+    """Optional multi-tenant population.  ``None`` (the default) keeps the
+    classic tenantless workload and is guaranteed bit-identical to the seed:
+    the tenant path draws from *new* RNG streams
+    (``workload:<name>:tenant`` and ``workload:<name>:tenant:<idx>``) that a
+    tenantless run never opens (PERFORMANCE.md rule 3)."""
+
     def __post_init__(self) -> None:
         unknown = set(self.consistency_overrides) - set(CONSISTENCY_OVERRIDE_KINDS)
         if unknown:
@@ -119,10 +129,19 @@ class WorkloadSpec:
             )
 
     def build_distribution(self) -> KeyDistribution:
-        """Instantiate the configured key distribution."""
+        """Instantiate the configured key distribution.
+
+        In tenant mode the distribution spans one tenant's key space
+        (``records_per_tenant``); every tenant shares the same popularity
+        shape over its own prefix.
+        """
+        record_count = (
+            self.tenants.records_per_tenant if self.tenants is not None
+            else self.record_count
+        )
         return make_distribution(
             self.key_distribution,
-            self.record_count,
+            record_count,
             zipf_theta=self.zipf_theta,
             hot_fraction=self.hot_fraction,
             hot_operation_fraction=self.hot_operation_fraction,
@@ -130,7 +149,7 @@ class WorkloadSpec:
 
     def describe(self) -> Dict[str, object]:
         """Flat description for experiment tables."""
-        return {
+        description: Dict[str, object] = {
             "record_count": self.record_count,
             "key_distribution": self.key_distribution,
             "read_fraction": self.operation_mix.read_fraction,
@@ -141,6 +160,53 @@ class WorkloadSpec:
                 kind: level.value for kind, level in self.consistency_overrides.items()
             },
         }
+        if self.tenants is not None:
+            description["tenants"] = self.tenants.describe()
+        return description
+
+
+class TenantOpStats:
+    """Per-tenant operation accounting (multi-tenant workloads only)."""
+
+    __slots__ = (
+        "reads_issued",
+        "writes_issued",
+        "reads_completed",
+        "writes_completed",
+        "reads_rejected",
+        "writes_rejected",
+        "reads_failed",
+        "writes_failed",
+        "read_latencies",
+    )
+
+    def __init__(self) -> None:
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.reads_completed = 0
+        self.writes_completed = 0
+        self.reads_rejected = 0
+        self.writes_rejected = 0
+        self.reads_failed = 0
+        self.writes_failed = 0
+        self.read_latencies = _LatencyBuffer(initial_capacity=16)
+
+    @property
+    def operations_issued(self) -> int:
+        """Total operations this tenant issued."""
+        return self.reads_issued + self.writes_issued
+
+    @property
+    def operations_rejected(self) -> int:
+        """Total operations admission control shed for this tenant."""
+        return self.reads_rejected + self.writes_rejected
+
+    def read_percentile_ms(self, q: float) -> float:
+        """Read latency percentile in milliseconds (0 when no reads)."""
+        values = self.read_latencies.as_array()
+        if values.shape[0] == 0:
+            return 0.0
+        return float(np.percentile(values, q)) * 1000.0
 
 
 class WorkloadStats:
@@ -153,32 +219,67 @@ class WorkloadStats:
         self.writes_completed = 0
         self.reads_failed = 0
         self.writes_failed = 0
+        self.reads_rejected = 0
+        self.writes_rejected = 0
         self.read_latencies = _LatencyBuffer()
         self.write_latencies = _LatencyBuffer()
         self.stale_reads = 0
         self.read_latency_series = TimeSeries("read_latency")
         self.write_latency_series = TimeSeries("write_latency")
         self.offered_rate_series = TimeSeries("offered_rate")
+        # Per-tenant breakdown; stays None (zero-cost) for tenantless runs.
+        self.tenant_stats: Optional[Dict[str, TenantOpStats]] = None
+
+    def enable_tenant_tracking(self, tenant_ids) -> Dict[str, TenantOpStats]:
+        """Create one :class:`TenantOpStats` per tenant and return the map."""
+        self.tenant_stats = {tenant_id: TenantOpStats() for tenant_id in tenant_ids}
+        return self.tenant_stats
 
     def record_read(self, result: ReadResult) -> None:
         """Record one completed read."""
+        if result.rejected:
+            self.reads_rejected += 1
+            tenants = self.tenant_stats
+            if tenants is not None and result.tenant is not None:
+                tenants[result.tenant].reads_rejected += 1
+            return
         if result.success:
             self.reads_completed += 1
             self.read_latencies.append(result.latency)
             self.read_latency_series.record(result.completed_at, result.latency)
             if result.stale:
                 self.stale_reads += 1
+            tenants = self.tenant_stats
+            if tenants is not None and result.tenant is not None:
+                entry = tenants[result.tenant]
+                entry.reads_completed += 1
+                entry.read_latencies.append(result.latency)
         else:
             self.reads_failed += 1
+            tenants = self.tenant_stats
+            if tenants is not None and result.tenant is not None:
+                tenants[result.tenant].reads_failed += 1
 
     def record_write(self, result: WriteResult) -> None:
         """Record one completed write."""
+        if result.rejected:
+            self.writes_rejected += 1
+            tenants = self.tenant_stats
+            if tenants is not None and result.tenant is not None:
+                tenants[result.tenant].writes_rejected += 1
+            return
         if result.success:
             self.writes_completed += 1
             self.write_latencies.append(result.latency)
             self.write_latency_series.record(result.completed_at, result.latency)
+            tenants = self.tenant_stats
+            if tenants is not None and result.tenant is not None:
+                tenants[result.tenant].writes_completed += 1
         else:
             self.writes_failed += 1
+            tenants = self.tenant_stats
+            if tenants is not None and result.tenant is not None:
+                tenants[result.tenant].writes_failed += 1
 
     @property
     def operations_issued(self) -> int:
@@ -191,12 +292,29 @@ class WorkloadStats:
         return self.reads_completed + self.writes_completed
 
     @property
+    def operations_rejected(self) -> int:
+        """Total operations shed by admission control (not failures)."""
+        return self.reads_rejected + self.writes_rejected
+
+    @property
     def failure_fraction(self) -> float:
-        """Fraction of issued operations that failed (timeout/unavailable)."""
+        """Fraction of issued operations that failed (timeout/unavailable).
+
+        Rejections are deliberately excluded: intentional load shedding must
+        not read as unavailability (see :attr:`rejected_fraction`).
+        """
         issued = self.operations_issued
         if issued == 0:
             return 0.0
         return (self.reads_failed + self.writes_failed) / issued
+
+    @property
+    def rejected_fraction(self) -> float:
+        """Fraction of issued operations shed by admission control."""
+        issued = self.operations_issued
+        if issued == 0:
+            return 0.0
+        return (self.reads_rejected + self.writes_rejected) / issued
 
     def latency_percentile(self, q: float, kind: str = "read") -> float:
         """Latency percentile in seconds for ``kind`` in {"read", "write", "all"}."""
@@ -232,6 +350,8 @@ class WorkloadStats:
             "operations_issued": float(self.operations_issued),
             "operations_completed": float(self.operations_completed),
             "failure_fraction": self.failure_fraction,
+            "operations_rejected": float(self.operations_rejected),
+            "rejected_fraction": self.rejected_fraction,
             "stale_reads": float(self.stale_reads),
             "read_p50_ms": float(read_p50) * 1000.0,
             "read_p95_ms": float(read_p95) * 1000.0,
@@ -240,6 +360,60 @@ class WorkloadStats:
             "write_p95_ms": float(write_p95) * 1000.0,
             "write_p99_ms": float(write_p99) * 1000.0,
         }
+
+
+class _TenantRuntime:
+    """Per-tenant hot-path state (hints, insert cursor, stats entry)."""
+
+    __slots__ = (
+        "profile",
+        "key_prefix",
+        "read_hints",
+        "update_hints",
+        "insert_hints",
+        "next_record_index",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        profile: TenantProfile,
+        overrides: Dict[str, ConsistencyLevel],
+        records_per_tenant: int,
+        stats: TenantOpStats,
+    ) -> None:
+        self.profile = profile
+        self.key_prefix = profile.key_prefix
+        base = {TENANT_HINT: profile.tenant_id, TENANT_TIER_HINT: profile.tier.name}
+        self.read_hints = dict(base)
+        self.update_hints = dict(base)
+        self.insert_hints = dict(base)
+        if "read" in overrides:
+            self.read_hints[CONSISTENCY_HINT] = overrides["read"]
+        if "update" in overrides:
+            self.update_hints[CONSISTENCY_HINT] = overrides["update"]
+        if "insert" in overrides:
+            self.insert_hints[CONSISTENCY_HINT] = overrides["insert"]
+        self.next_record_index = records_per_tenant
+        self.stats = stats
+
+
+class _BurstProcess:
+    """One superposed arrival process (a tenant's load-shape override).
+
+    Draws *all* of its randomness — arrival gaps, operation kinds, key
+    indexes, record sizes — from its own dedicated stream
+    (``workload:<name>:tenant:<idx>``), so adding or removing a burst leaves
+    every other stream's bitstream untouched (PERFORMANCE.md rule 3).
+    """
+
+    __slots__ = ("runtime", "shape", "rng", "label")
+
+    def __init__(self, runtime: "_TenantRuntime", shape: LoadShape, rng, label: str) -> None:
+        self.runtime = runtime
+        self.shape = shape
+        self.rng = rng
+        self.label = label
 
 
 class WorkloadGenerator:
@@ -281,6 +455,43 @@ class WorkloadGenerator:
             {CONSISTENCY_HINT: overrides["insert"]} if "insert" in overrides else None
         )
 
+        # Multi-tenant mode.  All tenant-related stochastic choices live on
+        # *new* named streams, so a tenantless run (population is None) opens
+        # none of them and stays bit-identical to seed (rule 3).  The issue
+        # path is bound once so the tenantless hot path keeps its exact shape.
+        tenant_spec = self.spec.tenants
+        if tenant_spec is not None:
+            self.population: Optional[TenantPopulation] = TenantPopulation(tenant_spec)
+            self._tenant_rng = simulator.streams.stream(f"workload:{name}:tenant")
+            tenant_stats = self.stats.enable_tenant_tracking(
+                profile.tenant_id for profile in self.population.profiles
+            )
+            self._tenants = [
+                _TenantRuntime(
+                    profile,
+                    overrides,
+                    tenant_spec.records_per_tenant,
+                    tenant_stats[profile.tenant_id],
+                )
+                for profile in self.population.profiles
+            ]
+            self._bursts = [
+                _BurstProcess(
+                    self._tenants[index],
+                    shape,
+                    simulator.streams.stream(f"workload:{name}:tenant:{index}"),
+                    f"{name}:tenant-burst:{index}",
+                )
+                for index, shape in sorted(tenant_spec.load_shape_overrides.items())
+            ]
+            self._issue: Callable[[], None] = self._issue_one_tenant
+        else:
+            self.population = None
+            self._tenant_rng = None
+            self._tenants = []
+            self._bursts = []
+            self._issue = self._issue_one
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -288,10 +499,12 @@ class WorkloadGenerator:
         """Insert the initial data set directly into the cluster."""
         if not self.spec.preload:
             return 0
+        if self.population is not None:
+            return self._preload_tenants()
         count = int(self.spec.record_count * self.spec.preload_fraction)
         # Sizes are the only draws on the workload stream during preload, so
         # the whole batch is drawn in one chunk — bitwise-equal to the old
-        # per-record loop (single-consumer stream; see PERFORMANCE.md).
+        # per-record loop (single-consumer stream; see PERFORMANCE.MD).
         drawn = self._sizer.next_sizes(self._rng, count).tolist()
         key_for = self._distribution.key_for
         prefix = self._key_prefix
@@ -303,12 +516,40 @@ class WorkloadGenerator:
             sizes[key] = size
         return self._cluster.preload(items, sizes)
 
+    def _preload_tenants(self) -> int:
+        """Preload every tenant's key space (tenant mode only).
+
+        All record sizes are still drawn in one chunk on the base workload
+        stream — sizes are its only consumer at preload time, exactly like
+        the tenantless path.
+        """
+        per_tenant = int(
+            self.spec.tenants.records_per_tenant * self.spec.preload_fraction
+        )
+        total = per_tenant * len(self._tenants)
+        drawn = self._sizer.next_sizes(self._rng, total).tolist()
+        key_for = self._distribution.key_for
+        items: Dict[str, bytes] = {}
+        sizes: Dict[str, int] = {}
+        cursor = 0
+        for runtime in self._tenants:
+            prefix = runtime.key_prefix
+            for index in range(per_tenant):
+                size = drawn[cursor]
+                cursor += 1
+                key = key_for(index, prefix)
+                items[key] = b"\x00" * min(size, 64)
+                sizes[key] = size
+        return self._cluster.preload(items, sizes)
+
     def start(self) -> None:
         """Begin issuing operations according to the load shape."""
         if self._running:
             return
         self._running = True
         self._schedule_next_arrival()
+        for burst in self._bursts:
+            self._schedule_burst(burst)
         self._simulator.call_every(
             10.0,
             self._sample_offered_rate,
@@ -337,7 +578,7 @@ class WorkloadGenerator:
     def _arrival(self) -> None:
         if not self._running:
             return
-        self._issue_one()
+        self._issue()
         self._schedule_next_arrival()
 
     def _issue_one(self) -> None:
@@ -372,7 +613,85 @@ class WorkloadGenerator:
             hints=hints,
         )
 
-    def _sample_offered_rate(self) -> None:
-        self.stats.offered_rate_series.record(
-            self._simulator.now, self.current_rate()
+    # ------------------------------------------------------------------
+    # Tenant mode (new streams only; see PERFORMANCE.md rule 3)
+    # ------------------------------------------------------------------
+    def _issue_one_tenant(self) -> None:
+        """One main-process arrival in tenant mode.
+
+        The tenant choice is the only extra draw and it happens on the
+        dedicated ``workload:<name>:tenant`` stream; kind/key/size draws stay
+        on the base stream, matching the tenantless interleaving.
+        """
+        u = float(self._tenant_rng.random())
+        runtime = self._tenants[self.population.choose_index(u)]
+        self._issue_for(runtime, self._rng)
+
+    def _issue_for(self, runtime: _TenantRuntime, rng) -> None:
+        """Issue one operation on behalf of ``runtime``'s tenant."""
+        distribution = self._distribution
+        stats = self.stats
+        entry = runtime.stats
+        kind = self._mix.choose(rng)
+        if kind == "read":
+            index = distribution.next_index(rng)
+            key = distribution.key_for(index, runtime.key_prefix)
+            stats.reads_issued += 1
+            entry.reads_issued += 1
+            self._cluster.read(
+                key, on_complete=stats.record_read, hints=runtime.read_hints
+            )
+            return
+        if kind == "insert":
+            # Inserts extend the tenant's private key space; the shared
+            # popularity distribution deliberately does not grow — it spans
+            # one tenant's *initial* key space for every tenant alike.
+            index = runtime.next_record_index
+            runtime.next_record_index += 1
+            hints = runtime.insert_hints
+        else:
+            index = distribution.next_index(rng)
+            hints = runtime.update_hints
+        key = distribution.key_for(index, runtime.key_prefix)
+        size = self._sizer.next_size(rng)
+        stats.writes_issued += 1
+        entry.writes_issued += 1
+        self._cluster.write(
+            key,
+            value=b"\x00" * min(size, 64),
+            size=size,
+            on_complete=stats.record_write,
+            hints=hints,
         )
+
+    _BURST_IDLE_POLL = 1.0
+
+    def _schedule_burst(self, burst: _BurstProcess) -> None:
+        if not self._running:
+            return
+        rate = burst.shape.rate(self._simulator.now)
+        if rate <= 1e-9:
+            # The shape is quiescent (e.g. a flash crowd before its spike):
+            # poll deterministically without consuming the burst stream.
+            self._simulator.schedule_in(
+                self._BURST_IDLE_POLL, self._burst_tick, burst, False, label=burst.label
+            )
+            return
+        gap = float(burst.rng.exponential(1.0 / rate))
+        self._simulator.schedule_in(
+            gap, self._burst_tick, burst, True, label=burst.label
+        )
+
+    def _burst_tick(self, burst: _BurstProcess, issue: bool) -> None:
+        if not self._running:
+            return
+        if issue:
+            self._issue_for(burst.runtime, burst.rng)
+        self._schedule_burst(burst)
+
+    def _sample_offered_rate(self) -> None:
+        rate = self.current_rate()
+        if self._bursts:
+            now = self._simulator.now
+            rate += sum(burst.shape.rate(now) for burst in self._bursts)
+        self.stats.offered_rate_series.record(self._simulator.now, rate)

@@ -207,3 +207,38 @@ def test_consistency_override_implies_or_requires_pipeline():
     )
     with pytest.raises(SystemExit, match="consistency-override"):
         build_simulation_config(args)
+
+
+def test_tenant_flags_build_a_tenant_spec():
+    args = build_parser().parse_args(
+        ["run", "--tenants", "60", "--tenant-skew", "0.9", "--admission-control"]
+    )
+    config = build_simulation_config(args)
+    assert config.workload.tenants is not None
+    assert config.workload.tenants.tenants == 60
+    assert config.workload.tenants.popularity_skew == 0.9
+    assert config.middleware is not None
+    assert config.middleware[0] == "admission-control"
+    # Tenants without admission control: multi-tenant workload, default stack.
+    args = build_parser().parse_args(["run", "--tenants", "10"])
+    config = build_simulation_config(args)
+    assert config.workload.tenants.tenants == 10
+    assert config.middleware is None
+
+
+def test_admission_control_requires_tenants_and_pipeline_stage():
+    args = build_parser().parse_args(["run", "--admission-control"])
+    with pytest.raises(SystemExit, match="tenants"):
+        build_simulation_config(args)
+    args = build_parser().parse_args(
+        [
+            "run",
+            "--tenants",
+            "10",
+            "--admission-control",
+            "--middleware",
+            "replica-selection,consistency,monitoring-hooks",
+        ]
+    )
+    with pytest.raises(SystemExit, match="admission-control"):
+        build_simulation_config(args)

@@ -128,13 +128,17 @@ def test_custom_admission_middleware_rejects_before_fanout():
         lambda cb: cluster.write("k", b"v", on_complete=cb, hints={"tenant": "blocked"}),
     )
     assert not blocked.success
+    assert blocked.rejected
     assert blocked.error == "admission denied: tenant blocked"
     allowed = run_sync(
         simulator,
         lambda cb: cluster.write("k", b"v", on_complete=cb, hints={"tenant": "other"}),
     )
     assert allowed.success
-    assert cluster.coordinator.writes_failed == 1
+    assert not allowed.rejected
+    # Shed load is accounted as rejected, not failed (it is intentional).
+    assert cluster.coordinator.writes_rejected == 1
+    assert cluster.coordinator.writes_failed == 0
 
 
 # ----------------------------------------------------------------------
