@@ -18,6 +18,10 @@ Public API highlights
   piggyback, RTT model) and their overhead accounting.
 * :mod:`repro.experiments` — the E1–E6 experiment harness behind the
   benchmarks and EXPERIMENTS.md.
+* :func:`~repro.simulation.sharding.run_sharded` /
+  :class:`~repro.simulation.sharding.ShardedReport` — the opt-in sharded
+  parallel mode: K independent shard processes merged through exact,
+  order-independent reducers (counters + mergeable percentile sketches).
 """
 
 from .cluster import Cluster, ClusterConfig, ConsistencyLevel, NodeConfig
@@ -34,8 +38,10 @@ from .core import (
     default_sla,
     make_policy,
 )
+from .monitoring.percentiles import MergeableHistogramSketch
 from .runner import MonitoringOptions, Simulation, SimulationConfig, SimulationReport
 from .simulation import Simulator
+from .simulation.sharding import ShardedReport, plan_shards, run_sharded
 from .workload import (
     BALANCED,
     READ_HEAVY,
@@ -60,6 +66,10 @@ __all__ = [
     "SimulationReport",
     "MonitoringOptions",
     "Simulator",
+    "run_sharded",
+    "plan_shards",
+    "ShardedReport",
+    "MergeableHistogramSketch",
     "Cluster",
     "ClusterConfig",
     "NodeConfig",

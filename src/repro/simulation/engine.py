@@ -128,11 +128,13 @@ class Simulator:
     PRIORITY_NORMAL = PRIORITY_NORMAL
     PRIORITY_LATE = PRIORITY_LATE
 
-    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+    def __init__(
+        self, seed: int = 0, start_time: float = 0.0, stream_namespace: str = ""
+    ) -> None:
         self._now = float(start_time)
         self._start_time = float(start_time)
         self._queue = EventQueue()
-        self._streams = RandomStreams(seed)
+        self._streams = RandomStreams(seed, namespace=stream_namespace)
         self._running = False
         self._stopped = False
         self._events_processed = 0

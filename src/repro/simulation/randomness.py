@@ -20,10 +20,20 @@ __all__ = ["RandomStreams", "LognormalSampler"]
 
 
 class RandomStreams:
-    """Factory and registry of named, independent random generators."""
+    """Factory and registry of named, independent random generators.
 
-    def __init__(self, seed: int = 0) -> None:
+    ``namespace`` prefixes every stream name before hashing, giving a fully
+    disjoint family of streams for the same ``(seed, name)`` pairs.  The
+    sharded simulation mode runs each shard under its own namespace
+    (``shard{i}/{K}``), so shard workers draw independent randomness from
+    one root seed without any stream-name collisions across processes
+    (PERFORMANCE.md rule 9).  The default empty namespace hashes names
+    exactly as before, keeping every existing sequence bit-identical.
+    """
+
+    def __init__(self, seed: int = 0, namespace: str = "") -> None:
         self._seed = int(seed)
+        self._namespace = str(namespace)
         self._root = np.random.SeedSequence(self._seed)
         self._generators: Dict[str, np.random.Generator] = {}
 
@@ -32,18 +42,29 @@ class RandomStreams:
         """Root seed from which all streams are derived."""
         return self._seed
 
+    @property
+    def namespace(self) -> str:
+        """Prefix applied to every stream name before hashing ("" = none)."""
+        return self._namespace
+
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
 
-        The generator for a given ``(seed, name)`` pair is always the same,
-        regardless of creation order, because the child seed is derived from
-        a stable hash of the stream name rather than from a creation counter.
+        The generator for a given ``(seed, namespace, name)`` triple is
+        always the same, regardless of creation order, because the child
+        seed is derived from a stable hash of the (namespaced) stream name
+        rather than from a creation counter.
         """
         generator = self._generators.get(name)
         if generator is None:
+            hashed = (
+                _stable_hash(f"{self._namespace}::{name}")
+                if self._namespace
+                else _stable_hash(name)
+            )
             child = np.random.SeedSequence(
                 entropy=self._root.entropy,
-                spawn_key=(_stable_hash(name),),
+                spawn_key=(hashed,),
             )
             generator = np.random.default_rng(child)
             self._generators[name] = generator

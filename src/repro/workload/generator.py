@@ -41,6 +41,36 @@ __all__ = [
 CONSISTENCY_OVERRIDE_KINDS = ("read", "update", "insert")
 
 
+class _ChunkedDraws:
+    """Chunked consumption of one single-consumer RNG stream.
+
+    The vectorized open-loop arrival mode gives every draw type its own
+    dedicated stream (``workload:{name}:gap`` / ``:mix`` / ``:key`` /
+    ``:size``), which makes each stream single-consumer — the precondition
+    under which one chunked draw equals the same draws made sequentially
+    (PERFORMANCE.md rule 1).  This helper refills a chunk when exhausted and
+    hands values out one at a time, so the arrival loop finally claims the
+    ~50× chunked-draw headroom the preload demonstrated.
+    """
+
+    __slots__ = ("_refill", "_buffer", "_position")
+
+    def __init__(self, refill: Callable[[], np.ndarray]) -> None:
+        self._refill = refill
+        self._buffer: Optional[np.ndarray] = None
+        self._position = 0
+
+    def next(self):
+        """The next value, refilling the chunk when exhausted."""
+        buffer = self._buffer
+        position = self._position
+        if buffer is None or position >= buffer.shape[0]:
+            buffer = self._buffer = self._refill()
+            position = 0
+        self._position = position + 1
+        return buffer[position]
+
+
 class _LatencyBuffer:
     """Append-only float buffer with amortised O(1) growth.
 
@@ -120,12 +150,32 @@ class WorkloadSpec:
     (``workload:<name>:tenant`` and ``workload:<name>:tenant:<idx>``) that a
     tenantless run never opens (PERFORMANCE.md rule 3)."""
 
+    open_loop: bool = False
+    """Opt-in vectorized open-loop arrival mode.  Instead of interleaving
+    gap/mix/key/size draws on the single ``workload:<name>`` stream (which
+    forces every draw to stay scalar — rule 1), each draw type gets its own
+    dedicated stream (``workload:<name>:gap`` / ``:mix`` / ``:key`` /
+    ``:size``) consumed in chunks.  This is a *new scenario mode* on new
+    stream names (rule 3): results differ from the classic mode by design,
+    while the default ``False`` keeps the seed-pinned bitstream untouched.
+    Two semantic differences to be aware of: the preload still draws sizes
+    on the base stream (it was already chunked there), and key indices are
+    pre-drawn a chunk at a time, so inserts only widen the key-popularity
+    distribution for draws in *later* chunks."""
+
     def __post_init__(self) -> None:
         unknown = set(self.consistency_overrides) - set(CONSISTENCY_OVERRIDE_KINDS)
         if unknown:
             raise ValueError(
                 f"unknown consistency_overrides keys {sorted(unknown)}; "
                 f"expected a subset of {CONSISTENCY_OVERRIDE_KINDS}"
+            )
+        if self.open_loop and self.tenants is not None:
+            raise ValueError(
+                "open_loop arrivals do not support tenant populations yet: "
+                "the tenant path interleaves per-tenant draws that cannot be "
+                "chunked without reordering tenant streams (sharded tenant "
+                "runs use the classic arrival path per shard)"
             )
 
     def build_distribution(self) -> KeyDistribution:
@@ -156,6 +206,7 @@ class WorkloadSpec:
             "update_fraction": self.operation_mix.update_fraction,
             "insert_fraction": self.operation_mix.insert_fraction,
             "mean_record_size": self.mean_record_size,
+            "open_loop": self.open_loop,
             "consistency_overrides": {
                 kind: level.value for kind, level in self.consistency_overrides.items()
             },
@@ -492,6 +543,29 @@ class WorkloadGenerator:
             self._bursts = []
             self._issue = self._issue_one
 
+        # Vectorized open-loop mode: each draw type on its own dedicated
+        # stream, consumed in chunks.  Binding instance attributes here (the
+        # issue callable and a shadowing `_schedule_next_arrival`) keeps the
+        # classic path's code shape untouched when the mode is off.
+        if self.spec.open_loop:
+            chunk = self._OPEN_LOOP_CHUNK
+            gap_rng = simulator.streams.stream(f"workload:{name}:gap")
+            mix_rng = simulator.streams.stream(f"workload:{name}:mix")
+            key_rng = simulator.streams.stream(f"workload:{name}:key")
+            size_rng = simulator.streams.stream(f"workload:{name}:size")
+            self._gap_draws = _ChunkedDraws(
+                lambda: gap_rng.exponential(1.0, size=chunk)
+            )
+            self._mix_draws = _ChunkedDraws(lambda: mix_rng.random(chunk))
+            self._key_draws = _ChunkedDraws(
+                lambda: self._distribution.next_indices(key_rng, chunk)
+            )
+            self._size_draws = _ChunkedDraws(
+                lambda: self._sizer.next_sizes(size_rng, chunk)
+            )
+            self._issue = self._issue_one_open
+            self._schedule_next_arrival = self._schedule_next_arrival_open
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -604,6 +678,58 @@ class WorkloadGenerator:
             hints = self._update_hints
         key = distribution.key_for(index, self._key_prefix)
         size = self._sizer.next_size(rng)
+        stats.writes_issued += 1
+        self._cluster.write(
+            key,
+            value=b"\x00" * min(size, 64),
+            size=size,
+            on_complete=stats.record_write,
+            hints=hints,
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized open-loop mode (new streams only; see PERFORMANCE.md)
+    # ------------------------------------------------------------------
+    #: Draws pre-fetched per stream refill; large enough to amortise the
+    #: numpy call, small enough not to matter for memory.
+    _OPEN_LOOP_CHUNK = 4096
+
+    def _schedule_next_arrival_open(self) -> None:
+        """Open-loop arrival scheduling from chunked unit-exponential gaps.
+
+        A unit exponential divided by the current rate has exactly the
+        ``Exponential(1/rate)`` distribution the scalar path draws, while
+        keeping the ``:gap`` stream single-consumer and therefore chunkable.
+        """
+        if not self._running:
+            return
+        rate = self.current_rate()
+        gap = float(self._gap_draws.next()) / rate
+        self._simulator.schedule_in(gap, self._arrival, label=self._arrival_label)
+
+    def _issue_one_open(self) -> None:
+        """One arrival with all randomness consumed from chunked buffers."""
+        stats = self.stats
+        distribution = self._distribution
+        kind = self._mix.kind_for(float(self._mix_draws.next()))
+        if kind == "read":
+            index = int(self._key_draws.next())
+            key = distribution.key_for(index, self._key_prefix)
+            stats.reads_issued += 1
+            self._cluster.read(
+                key, on_complete=stats.record_read, hints=self._read_hints
+            )
+            return
+        if kind == "insert":
+            index = self._next_record_index
+            self._next_record_index += 1
+            distribution.grow(self._next_record_index)
+            hints = self._insert_hints
+        else:
+            index = int(self._key_draws.next())
+            hints = self._update_hints
+        key = distribution.key_for(index, self._key_prefix)
+        size = int(self._size_draws.next())
         stats.writes_issued += 1
         self._cluster.write(
             key,

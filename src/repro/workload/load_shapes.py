@@ -37,6 +37,7 @@ __all__ = [
     "CompositeLoad",
     "NoisyLoad",
     "TraceLoad",
+    "ScaledLoad",
 ]
 
 
@@ -192,6 +193,35 @@ class CompositeLoad(LoadShape):
 
     def rate(self, t: float) -> float:
         return sum(shape.rate(t) for shape in self._shapes)
+
+
+class ScaledLoad(LoadShape):
+    """A shape multiplied by a constant factor.
+
+    The sharded simulation mode hands each shard ``records_i / records``
+    of the scenario's arrival process by wrapping the configured shape —
+    the temporal profile (diurnal cycle, flash crowd, ...) is preserved,
+    only the intensity is divided across shards.
+    """
+
+    def __init__(self, base: LoadShape, factor: float) -> None:
+        if factor < 0.0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        self._base = base
+        self._factor = float(factor)
+
+    @property
+    def base(self) -> LoadShape:
+        """The wrapped shape."""
+        return self._base
+
+    @property
+    def factor(self) -> float:
+        """The constant multiplier applied to the base rate."""
+        return self._factor
+
+    def rate(self, t: float) -> float:
+        return self._base.rate(t) * self._factor
 
 
 class NoisyLoad(LoadShape):

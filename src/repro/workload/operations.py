@@ -50,6 +50,21 @@ class OperationMix:
             return "update"
         return "insert"
 
+    def kind_for(self, draw: float) -> str:
+        """Map a uniform draw in ``[0, 1)`` to an operation kind.
+
+        Same thresholds as :meth:`choose`, but the caller supplies the
+        uniform — this is how the vectorized open-loop arrival path consumes
+        chunked draws from its dedicated ``:mix`` stream.  Kept separate from
+        :meth:`choose` (rather than delegating) so the classic scalar path
+        pays no extra call frame.
+        """
+        if draw < self.read_fraction:
+            return "read"
+        if draw < self.read_fraction + self.update_fraction:
+            return "update"
+        return "insert"
+
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for experiment tables."""
         return {

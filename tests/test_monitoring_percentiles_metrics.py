@@ -128,3 +128,129 @@ def test_collector_snapshot_dict_shape():
         "stale_read_fraction",
     ):
         assert key in as_dict
+
+
+# ----------------------------------------------------------------------
+# MergeableHistogramSketch: the sharded-mode merge primitive
+# ----------------------------------------------------------------------
+def _stream(seed: int, count: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Lognormal latencies spanning several orders of magnitude, the regime
+    # the sketch exists for.
+    return rng.lognormal(mean=-4.0, sigma=1.5, size=count)
+
+
+def test_sketch_merge_equals_single_sketch_over_concatenation():
+    from repro.monitoring.percentiles import MergeableHistogramSketch
+
+    values = _stream(1, 9_001)
+    for shards in (1, 2, 3, 5, 8):
+        parts = np.array_split(values, shards)
+        shard_sketches = []
+        for part in parts:
+            sketch = MergeableHistogramSketch()
+            sketch.observe_many(part)
+            shard_sketches.append(sketch)
+        merged = MergeableHistogramSketch.merged(shard_sketches)
+        whole = MergeableHistogramSketch()
+        whole.observe_many(values)
+        # Exact: merging is bin-count addition, so any K and any split must
+        # reproduce the single sketch bit for bit.
+        assert np.array_equal(merged.bin_counts, whole.bin_counts)
+        assert merged.count == whole.count
+        assert merged.snapshot() == whole.snapshot()
+
+
+def test_sketch_merge_is_order_independent():
+    from repro.monitoring.percentiles import MergeableHistogramSketch
+
+    parts = [_stream(seed, 1_000 + 137 * seed) for seed in range(4)]
+    sketches = []
+    for part in parts:
+        sketch = MergeableHistogramSketch()
+        sketch.observe_many(part)
+        sketches.append(sketch)
+    forward = MergeableHistogramSketch.merged(sketches)
+    backward = MergeableHistogramSketch.merged(list(reversed(sketches)))
+    assert np.array_equal(forward.bin_counts, backward.bin_counts)
+    assert forward.snapshot() == backward.snapshot()
+
+
+def test_sketch_merge_uneven_splits_and_scalar_observe_agree():
+    from repro.monitoring.percentiles import MergeableHistogramSketch
+
+    values = _stream(7, 2_000)
+    # Pathologically uneven split: 1 element / the rest.
+    head = MergeableHistogramSketch()
+    head.observe(float(values[0]))
+    tail = MergeableHistogramSketch()
+    tail.observe_many(values[1:])
+    merged = MergeableHistogramSketch.merged([head, tail])
+    whole = MergeableHistogramSketch()
+    whole.observe_many(values)
+    assert np.array_equal(merged.bin_counts, whole.bin_counts)
+
+
+def test_sketch_quantile_error_bound_vs_ground_truth():
+    from repro.monitoring.percentiles import MergeableHistogramSketch
+
+    accuracy = 0.01
+    values = _stream(3, 20_000)
+    sketch = MergeableHistogramSketch(accuracy=accuracy)
+    sketch.observe_many(values)
+    ordered = np.sort(values)
+    for q in (1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9):
+        rank = max(1, int(np.ceil(q / 100.0 * ordered.shape[0])))
+        truth = float(ordered[rank - 1])
+        estimate = sketch.percentile(q)
+        assert abs(estimate - truth) <= accuracy * truth + 1e-12, (
+            f"p{q}: estimate {estimate} vs truth {truth} exceeds "
+            f"{accuracy:.0%} relative error"
+        )
+
+
+def test_sketch_rejects_incompatible_merge():
+    from repro.monitoring.percentiles import MergeableHistogramSketch
+
+    a = MergeableHistogramSketch(accuracy=0.01)
+    b = MergeableHistogramSketch(accuracy=0.02)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_sketch_zero_and_out_of_range_values():
+    from repro.monitoring.percentiles import MergeableHistogramSketch
+
+    sketch = MergeableHistogramSketch(min_value=1e-6, max_value=10.0)
+    sketch.observe(0.0)
+    sketch.observe(-1.0)
+    sketch.observe(1e-12)  # below min: clamped into the first bin
+    sketch.observe(1e6)  # above max: clamped into the last bin
+    assert sketch.count == 4
+    # Zero/negative dominate the low quantiles.
+    assert sketch.percentile(25.0) == 0.0
+    assert sketch.percentile(99.0) <= 10.0 * (1.0 + 0.01)
+
+
+def test_sketch_mean_is_exact():
+    from repro.monitoring.percentiles import MergeableHistogramSketch
+
+    values = _stream(5, 512)
+    sketch = MergeableHistogramSketch()
+    sketch.observe_many(values)
+    assert sketch.mean() == pytest.approx(float(np.mean(values)), rel=1e-12)
+
+
+def test_sketch_pickle_roundtrip_preserves_counts():
+    import pickle
+
+    from repro.monitoring.percentiles import MergeableHistogramSketch
+
+    sketch = MergeableHistogramSketch()
+    sketch.observe_many(_stream(9, 300))
+    clone = pickle.loads(pickle.dumps(sketch))
+    assert np.array_equal(clone.bin_counts, sketch.bin_counts)
+    assert clone.snapshot() == sketch.snapshot()
+    # The clone keeps merging correctly (the property shard results rely on).
+    merged = MergeableHistogramSketch.merged([sketch, clone])
+    assert merged.count == 2 * sketch.count

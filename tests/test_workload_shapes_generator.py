@@ -207,3 +207,54 @@ def test_offered_rate_sampling_and_current_rate():
     simulator.run_until(30.0)
     assert generator.current_rate() == pytest.approx(150.0)
     assert len(generator.stats.offered_rate_series) >= 2
+
+
+def test_scaled_load_multiplies_any_base_shape():
+    from repro.workload.load_shapes import ScaledLoad
+
+    base = DiurnalLoad(trough_rate=20.0, peak_rate=100.0, period=600.0)
+    scaled = ScaledLoad(base, 0.25)
+    for t in (0.0, 150.0, 300.0, 450.0):
+        assert scaled.rate(t) == pytest.approx(base.rate(t) * 0.25)
+    assert scaled.base is base
+    assert scaled.factor == 0.25
+    with pytest.raises(ValueError):
+        ScaledLoad(base, -0.1)
+
+
+def test_operation_mix_kind_for_matches_choose_thresholds():
+    from repro.workload.operations import OperationMix
+
+    mix = OperationMix(read_fraction=0.5, update_fraction=0.3, insert_fraction=0.2)
+    assert mix.kind_for(0.0) == "read"
+    assert mix.kind_for(0.499) == "read"
+    assert mix.kind_for(0.5) == "update"
+    assert mix.kind_for(0.799) == "update"
+    assert mix.kind_for(0.8) == "insert"
+    assert mix.kind_for(0.999) == "insert"
+
+
+def test_open_loop_spec_described_and_validated():
+    spec = WorkloadSpec(open_loop=True)
+    assert spec.describe()["open_loop"] is True
+    assert WorkloadSpec().describe()["open_loop"] is False
+
+
+def test_open_loop_generator_draws_nothing_from_base_stream_after_preload():
+    simulator = Simulator(seed=5)
+    cluster = Cluster(
+        simulator,
+        ClusterConfig(initial_nodes=3, node=NodeConfig(ops_capacity=500.0)),
+    )
+    spec = WorkloadSpec(
+        record_count=500, load_shape=ConstantLoad(50.0), open_loop=True
+    )
+    generator = WorkloadGenerator(simulator, cluster, spec)
+    generator.preload()
+    generator.start()
+    simulator.run_until(30.0)
+    # All arrival-path draws come from the four dedicated streams.
+    names = simulator.streams.known_streams()
+    for suffix in ("gap", "mix", "key", "size"):
+        assert f"workload:workload:{suffix}" in names
+    assert generator.stats.operations_issued > 0
