@@ -24,7 +24,15 @@ Public API highlights
   order-independent reducers (counters + mergeable percentile sketches).
 """
 
-from .cluster import Cluster, ClusterConfig, ConsistencyLevel, NodeConfig
+from .cluster import (
+    Cluster,
+    ClusterConfig,
+    ConsistencyLevel,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    NodeConfig,
+)
 from .core import (
     SLA,
     AutonomousController,
@@ -74,6 +82,9 @@ __all__ = [
     "ClusterConfig",
     "NodeConfig",
     "ConsistencyLevel",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "AutonomousController",
     "ControllerConfig",
     "PlannerConfig",

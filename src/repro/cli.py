@@ -22,8 +22,15 @@ Two subcommands cover the common workflows without writing any Python:
 
         python -m repro.cli run --tenants 200 --admission-control
 
+    A fault campaign stresses the run with scheduled gray failures and
+    lifecycle churn (fail-slow nodes, flaky links, rolling restarts) — fully
+    reproducible from ``--fault-seed``::
+
+        python -m repro.cli run --faults campaign --fault-seed 29
+        python -m repro.cli run --faults degrade:node=0,at=120,factor=0.3,duration=90
+
 ``experiment``
-    Run one of the E1–E8 experiments (or ``all``) and print its regenerated
+    Run one of the E1–E9 experiments (or ``all``) and print its regenerated
     tables::
 
         python -m repro.cli experiment E5 --scale 0.35
@@ -40,6 +47,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .cluster.cluster import ClusterConfig
+from .cluster.faults import FaultPlan, FaultSpec
 from .cluster.node import NodeConfig
 from .cluster.types import ConsistencyLevel
 from .core.controller import ControllerConfig
@@ -190,14 +198,47 @@ def build_parser() -> argparse.ArgumentParser:
             "classic closed-loop mode by design)"
         ),
     )
+    run_parser.add_argument(
+        "--faults",
+        action="append",
+        default=None,
+        metavar="KIND[:k=v,...]",
+        help=(
+            "inject a scheduled fault (repeatable). KIND is one of "
+            "crash, degrade, flaky-link, partition, restart, campaign; "
+            "parameters are comma-separated key=value pairs, e.g. "
+            "'degrade:node=0,at=120,factor=0.3,duration=90', "
+            "'flaky-link:node=0,peer=1,at=60,duration=120,drop=0.1,delay=0.002', "
+            "'restart:at=200,downtime=15,settle=30', or 'campaign:faults=6' "
+            "(a mixed chaos campaign sampled from --fault-seed)"
+        ),
+    )
+    run_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "seed of the generated fault campaign (with --faults campaign); "
+            "the same seed reproduces the identical campaign. Defaults to "
+            "--seed"
+        ),
+    )
     run_parser.add_argument("--json", action="store_true", help="print the full report as JSON")
 
-    experiment_parser = subparsers.add_parser("experiment", help="run an E1-E8 experiment")
+    experiment_parser = subparsers.add_parser("experiment", help="run an E1-E9 experiment")
     experiment_parser.add_argument(
         "experiment", choices=sorted(EXPERIMENTS) + ["all"], help="experiment id"
     )
     experiment_parser.add_argument("--seed", type=int, default=1)
     experiment_parser.add_argument("--scale", type=float, default=1.0)
+    experiment_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault-campaign seed for E9 (same seed -> bit-identical report)",
+    )
     return parser
 
 
@@ -242,6 +283,101 @@ def _parse_consistency_overrides(entries: Optional[Sequence[str]]):
                 f"invalid consistency level {level.strip()!r}; expected one of {valid}"
             )
     return overrides
+
+
+_FAULT_KIND_ALIASES = {
+    "crash": "crash",
+    "degrade": "degrade",
+    "flaky-link": "flaky_link",
+    "partition": "partition",
+    "restart": "restart",
+}
+
+#: CLI parameter name -> FaultSpec field (identity unless listed).
+_FAULT_PARAM_FIELDS = {"drop": "drop_probability", "delay": "extra_delay"}
+_FAULT_INT_KEYS = frozenset({"node", "peer", "faults"})
+_FAULT_FLOAT_KEYS = frozenset(
+    {"at", "duration", "factor", "drop", "delay", "downtime", "settle"}
+)
+
+
+def _parse_fault_entry(entry: str):
+    """Split one ``--faults`` value into (kind token, typed parameter dict)."""
+    kind_token, _, params_token = entry.partition(":")
+    kind_token = kind_token.strip().lower()
+    params = {}
+    if params_token.strip():
+        for item in params_token.split(","):
+            key, separator, value = item.partition("=")
+            key = key.strip().lower()
+            if not separator or not key:
+                raise SystemExit(
+                    f"invalid --faults parameter {item!r} in {entry!r}; "
+                    "expected comma-separated key=value pairs"
+                )
+            if key not in _FAULT_INT_KEYS and key not in _FAULT_FLOAT_KEYS:
+                raise SystemExit(
+                    f"unknown --faults parameter {key!r} in {entry!r}"
+                )
+            try:
+                params[key] = (
+                    int(value) if key in _FAULT_INT_KEYS else float(value)
+                )
+            except ValueError:
+                raise SystemExit(
+                    f"invalid --faults value {value!r} for {key!r} in {entry!r}"
+                )
+    return kind_token, params
+
+
+def _build_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """Translate ``--faults`` / ``--fault-seed`` into a :class:`FaultPlan`."""
+    entries = getattr(args, "faults", None)
+    fault_seed = getattr(args, "fault_seed", None)
+    if not entries:
+        if fault_seed is not None:
+            raise SystemExit(
+                "--fault-seed requires --faults (e.g. --faults campaign)"
+            )
+        return None
+    seed = fault_seed if fault_seed is not None else args.seed
+    specs = []
+    for entry in entries:
+        kind_token, params = _parse_fault_entry(entry)
+        if kind_token == "campaign":
+            count = params.pop("faults", 6)
+            if params:
+                raise SystemExit(
+                    f"--faults campaign only accepts faults=N, got {entry!r}"
+                )
+            specs.extend(
+                FaultPlan.generate(
+                    seed, args.duration, faults=count, nodes=args.nodes
+                ).specs
+            )
+            continue
+        kind = _FAULT_KIND_ALIASES.get(kind_token)
+        if kind is None:
+            valid = ", ".join(sorted(_FAULT_KIND_ALIASES) + ["campaign"])
+            raise SystemExit(
+                f"unknown fault kind {kind_token!r} in {entry!r}; "
+                f"expected one of {valid}"
+            )
+        if "faults" in params:
+            raise SystemExit(
+                f"the faults= parameter only applies to campaign, got {entry!r}"
+            )
+        if "at" not in params:
+            raise SystemExit(f"--faults {entry!r} needs at=<seconds>")
+        kwargs = {
+            _FAULT_PARAM_FIELDS.get(key, key): value
+            for key, value in params.items()
+        }
+        try:
+            specs.append(FaultSpec(kind=kind, **kwargs))
+        except (TypeError, ValueError) as error:
+            raise SystemExit(f"invalid --faults {entry!r}: {error}")
+    return FaultPlan(specs=tuple(specs), seed=seed)
 
 
 def build_simulation_config(args: argparse.Namespace) -> SimulationConfig:
@@ -317,6 +453,7 @@ def build_simulation_config(args: argparse.Namespace) -> SimulationConfig:
         controller=ControllerConfig(policy=args.policy),
         middleware=middleware,
         middleware_params=middleware_params,
+        faults=_build_fault_plan(args),
         label=f"cli-{args.policy}",
     )
 
@@ -361,6 +498,9 @@ def _command_run_sharded(args: argparse.Namespace, shards: int) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
+    fault_seed = getattr(args, "fault_seed", None)
+    if fault_seed is not None and args.experiment != "E9":
+        raise SystemExit("--fault-seed only applies to experiment E9")
     if args.experiment == "all":
         results = run_all_experiments(seed=args.seed, scale=args.scale)
         for result in results.values():
@@ -368,7 +508,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
             print()
         return 0
     module = EXPERIMENTS[args.experiment]
-    result = module.run(seed=args.seed, scale=args.scale)
+    kwargs = {}
+    if fault_seed is not None:
+        kwargs["fault_seed"] = fault_seed
+    result = module.run(seed=args.seed, scale=args.scale, **kwargs)
     print(result.render())
     return 0
 

@@ -16,7 +16,7 @@ from .errors import (
     UnavailableError,
     UnknownNodeError,
 )
-from .faults import FaultEvent, FaultInjector
+from .faults import FAULT_KINDS, FaultEvent, FaultInjector, FaultPlan, FaultSpec
 from .hinted_handoff import Hint, HintedHandoffConfig, HintedHandoffManager
 from .membership import GossipAgent, MembershipConfig, MembershipService, MembershipView
 from .node import NodeConfig, ReplicaReadResponse, ReplicaWriteResponse, StorageNode
@@ -80,4 +80,7 @@ __all__ = [
     "StreamTask",
     "FaultInjector",
     "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_KINDS",
 ]

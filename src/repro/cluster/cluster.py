@@ -773,6 +773,26 @@ class Cluster:
         node.mark_up()
         self._notify_topology({"event": "node_up", "node": node_id})
 
+    def set_node_fault_factor(self, node_id: str, factor: float) -> None:
+        """Scale a node's effective service rate (gray-failure injection).
+
+        A factor below 1.0 models a fail-slow node: it keeps answering, just
+        slower.  The factor composes multiplicatively with interference (which
+        drives the separate ``speed_factor``) and survives crash/recover — a
+        node that crashes while degraded comes back degraded until the fault
+        engine restores it.  ``factor == 1.0`` restores full health.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise UnknownNodeError(f"unknown node {node_id!r}")
+        node.server.set_fault_factor(factor)
+        if factor == 1.0:
+            self._notify_topology({"event": "node_restored", "node": node_id})
+        else:
+            self._notify_topology(
+                {"event": "node_degraded", "node": node_id, "factor": factor}
+            )
+
     def _streamed_version_applied(
         self, key: str, stamp: VersionStamp, node_id: str, time: float
     ) -> None:

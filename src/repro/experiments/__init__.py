@@ -1,4 +1,4 @@
-"""Experiment harness (E1–E8).
+"""Experiment harness (E1–E9).
 
 The paper is a doctoral-symposium proposal without an evaluation section;
 these experiments operationalise its research questions and research-plan
@@ -20,6 +20,7 @@ from . import (
     e6_predictive,
     e7_tail_latency,
     e8_noisy_neighbour,
+    e9_resilience,
 )
 from .tables import ExperimentResult, ResultTable
 
@@ -34,6 +35,7 @@ __all__ = [
     "e6_predictive",
     "e7_tail_latency",
     "e8_noisy_neighbour",
+    "e9_resilience",
     "EXPERIMENTS",
     "run_all_experiments",
 ]
@@ -48,6 +50,7 @@ EXPERIMENTS = {
     "E6": e6_predictive,
     "E7": e7_tail_latency,
     "E8": e8_noisy_neighbour,
+    "E9": e9_resilience,
 }
 
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .cluster.cluster import Cluster, ClusterConfig, ClusterListener
-from .cluster.faults import FaultInjector
+from .cluster.faults import FaultInjector, FaultPlan
 from .consistency.staleness import StalenessObserver
 from .consistency.window_tracker import InconsistencyWindowTracker, WindowTrackerConfig
 from .core.controller import AutonomousController, ControllerConfig
@@ -116,6 +116,11 @@ class SimulationConfig:
     so shards draw from provably disjoint randomness without coordinating —
     see PERFORMANCE.md rule 9."""
 
+    faults: Optional[FaultPlan] = None
+    """Declarative fault campaign scheduled against the cluster at build time
+    (``None`` = no injected faults; the default path stays bit-identical).
+    Sharded runs split the plan per shard via :meth:`FaultPlan.shard`."""
+
 
 @dataclass
 class SimulationReport:
@@ -138,6 +143,10 @@ class SimulationReport:
     """Per-tenant rollup (top tenants, tier SLO attainment, admission stats);
     empty for single-tenant runs."""
 
+    fault_summary: Dict[str, object] = field(default_factory=dict)
+    """Injected-fault record (count, by-kind counts, event list); empty for
+    fault-free runs."""
+
     def as_dict(self) -> Dict[str, object]:
         """Nested plain-dict view (JSON-serialisable)."""
         return {
@@ -157,6 +166,7 @@ class SimulationReport:
             },
             "events_processed": self.events_processed,
             "tenants": dict(self.tenant_summary),
+            "faults": dict(self.fault_summary),
         }
 
     def headline(self) -> Dict[str, float]:
@@ -240,6 +250,8 @@ class Simulation:
         )
         self.cluster = Cluster(self.simulator, cluster_config)
         self.fault_injector = FaultInjector(self.simulator, self.cluster)
+        if self.config.faults is not None:
+            self.config.faults.apply(self.fault_injector)
 
         # Ground truth and client-observed consistency tracking.
         self.window_tracker = InconsistencyWindowTracker(
@@ -460,6 +472,15 @@ class Simulation:
             latest = estimator.latest()
             estimator_estimates[name] = latest.as_dict() if latest else {}
 
+        fault_summary: Dict[str, object] = {}
+        if self.fault_injector.events:
+            fault_summary = {
+                "count": len(self.fault_injector.events),
+                "by_kind": self.fault_injector.counts(),
+                "link_drops": int(self.cluster.network.link_drops),
+                "events": self.fault_injector.summary(),
+            }
+
         tenant_summary: Dict[str, object] = {}
         if self.tenant_rollup is not None:
             tenant_summary = {
@@ -486,4 +507,5 @@ class Simulation:
             },
             events_processed=self.simulator.events_processed,
             tenant_summary=tenant_summary,
+            fault_summary=fault_summary,
         )

@@ -15,8 +15,9 @@ more traffic").  The :class:`NetworkModel` therefore exposes:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .engine import Simulator
 from .randomness import LognormalSampler
@@ -57,8 +58,22 @@ class NetworkModel:
         self._simulator = simulator
         self._config = config or NetworkConfig()
         self._rng = simulator.streams.stream("network")
-        self._partitioned_pairs: Set[FrozenSet[str]] = set()
-        self._partitioned_nodes: Set[str] = set()
+        # Partitions are identified so overlapping windows compose: each
+        # installed partition owns its pair set, and a pair stays severed
+        # until every partition covering it is healed (refcount per pair).
+        self._partitioned_pairs: Dict[FrozenSet[str], int] = {}
+        self._partitions: Dict[int, List[FrozenSet[str]]] = {}
+        self._next_partition_id = itertools.count(1)
+        # Flaky links: per-pair (drop probability, extra one-way delay),
+        # rebuilt from the installed faults whenever one is added or cleared.
+        # The drop draws come from a dedicated "faults:links" stream created
+        # lazily on first use, so runs without link faults never open it
+        # (PERFORMANCE.md rule 3).
+        self._link_faults: Dict[FrozenSet[str], Tuple[float, float]] = {}
+        self._link_fault_entries: Dict[int, Tuple[FrozenSet[str], float, float]] = {}
+        self._next_link_fault_id = itertools.count(1)
+        self._faults_rng = None
+        self._link_drops = 0
         self._window_start = simulator.now
         self._window_messages = 0
         self._congestion_factor = 1.0
@@ -103,18 +118,46 @@ class NetworkModel:
     # ------------------------------------------------------------------
     # Partitions
     # ------------------------------------------------------------------
-    def partition(self, group_a: Set[str], group_b: Set[str]) -> None:
-        """Install a partition: messages between the two groups are dropped."""
+    def partition(self, group_a: Set[str], group_b: Set[str]) -> int:
+        """Install a partition: messages between the two groups are dropped.
+
+        Returns a partition id that :meth:`heal_partition` accepts, so a
+        caller heals exactly the partition it installed.  Overlapping
+        partitions compose: a pair severed by two partitions stays severed
+        until both are healed.
+        """
+        pairs: List[FrozenSet[str]] = []
         for a in group_a:
             for b in group_b:
                 if a != b:
-                    self._partitioned_pairs.add(frozenset((a, b)))
-        self._partitioned_nodes |= set(group_a) | set(group_b)
+                    pair = frozenset((a, b))
+                    pairs.append(pair)
+                    self._partitioned_pairs[pair] = (
+                        self._partitioned_pairs.get(pair, 0) + 1
+                    )
+        partition_id = next(self._next_partition_id)
+        self._partitions[partition_id] = pairs
+        return partition_id
 
-    def heal_partition(self) -> None:
-        """Remove all partitions."""
-        self._partitioned_pairs.clear()
-        self._partitioned_nodes.clear()
+    def heal_partition(self, partition_id: Optional[int] = None) -> None:
+        """Heal one partition by id, or every partition when id is ``None``.
+
+        Healing an unknown or already-healed id is a no-op (a heal scheduled
+        before a blanket heal must not underflow the pair refcounts).
+        """
+        if partition_id is None:
+            self._partitioned_pairs.clear()
+            self._partitions.clear()
+            return
+        pairs = self._partitions.pop(partition_id, None)
+        if pairs is None:
+            return
+        for pair in pairs:
+            count = self._partitioned_pairs.get(pair, 0) - 1
+            if count <= 0:
+                self._partitioned_pairs.pop(pair, None)
+            else:
+                self._partitioned_pairs[pair] = count
 
     def is_partitioned(self, source: str, destination: str) -> bool:
         """Whether messages from ``source`` to ``destination`` are dropped."""
@@ -126,6 +169,67 @@ class NetworkModel:
     def has_partition(self) -> bool:
         """Whether any partition is currently installed."""
         return bool(self._partitioned_pairs)
+
+    # ------------------------------------------------------------------
+    # Flaky links
+    # ------------------------------------------------------------------
+    def set_link_fault(
+        self,
+        node_a: str,
+        node_b: str,
+        drop_probability: float = 0.0,
+        extra_delay: float = 0.0,
+    ) -> int:
+        """Make the (undirected) link between two nodes flaky.
+
+        Every message crossing the link is independently dropped with
+        ``drop_probability``; survivors pay ``extra_delay`` seconds on top of
+        the sampled latency.  Returns a fault id for :meth:`clear_link_fault`.
+        Overlapping faults on one link compose: drop probabilities combine as
+        independent events and delays add.
+        """
+        if not (0.0 <= drop_probability <= 1.0):
+            raise ValueError(
+                f"drop_probability must be in [0, 1], got {drop_probability}"
+            )
+        if extra_delay < 0.0:
+            raise ValueError(f"extra_delay must be >= 0, got {extra_delay}")
+        if node_a == node_b:
+            raise ValueError("a link fault needs two distinct endpoints")
+        fault_id = next(self._next_link_fault_id)
+        pair = frozenset((node_a, node_b))
+        self._link_fault_entries[fault_id] = (pair, drop_probability, extra_delay)
+        self._rebuild_link_faults()
+        return fault_id
+
+    def clear_link_fault(self, fault_id: int) -> None:
+        """Remove one link fault by id (no-op for unknown ids)."""
+        if self._link_fault_entries.pop(fault_id, None) is not None:
+            self._rebuild_link_faults()
+
+    def _rebuild_link_faults(self) -> None:
+        faults: Dict[FrozenSet[str], Tuple[float, float]] = {}
+        for pair, drop, delay in self._link_fault_entries.values():
+            survive, extra = faults.get(pair, (1.0, 0.0))
+            faults[pair] = (survive * (1.0 - drop), extra + delay)
+        self._link_faults = {
+            pair: (1.0 - survive, extra) for pair, (survive, extra) in faults.items()
+        }
+
+    def _link_fault_rng(self):
+        if self._faults_rng is None:
+            self._faults_rng = self._simulator.streams.stream("faults:links")
+        return self._faults_rng
+
+    @property
+    def link_drops(self) -> int:
+        """Messages dropped by flaky links (subset of :attr:`messages_dropped`)."""
+        return self._link_drops
+
+    @property
+    def has_link_faults(self) -> bool:
+        """Whether any flaky-link fault is currently installed."""
+        return bool(self._link_faults)
 
     # ------------------------------------------------------------------
     # Latency and delivery
@@ -173,7 +277,23 @@ class NetworkModel:
             if on_drop is not None:
                 on_drop()
             return False
+        link_delay = 0.0
+        if self._link_faults:
+            fault = self._link_faults.get(frozenset((source, destination)))
+            if fault is not None:
+                drop_probability, link_delay = fault
+                if (
+                    drop_probability > 0.0
+                    and self._link_fault_rng().random() < drop_probability
+                ):
+                    self._messages_dropped += 1
+                    self._link_drops += 1
+                    if on_drop is not None:
+                        on_drop()
+                    return False
         latency = self.sample_latency(client_facing=client_facing)
+        if link_delay > 0.0:
+            latency += link_delay
         pair = (source, destination)
         label = self._labels.get(pair)
         if label is None:

@@ -117,6 +117,7 @@ class QueueingServer:
         self._name = name
         self._service_rate = float(service_rate)
         self._speed_factor = 1.0
+        self._fault_factor = 1.0
         self._service_cv = float(service_cv)
         self._queue: Deque[ServiceRequest] = deque()
         self._in_service: Optional[ServiceRequest] = None
@@ -162,9 +163,25 @@ class QueueingServer:
         self._service_rate = float(rate)
 
     @property
+    def fault_factor(self) -> float:
+        """Injected gray-failure multiplier (1.0 = healthy).
+
+        Kept separate from :attr:`speed_factor` because interference
+        *overwrites* the speed factor on every update tick — a fail-slow
+        fault must compose with interference rather than be erased by it.
+        """
+        return self._fault_factor
+
+    def set_fault_factor(self, factor: float) -> None:
+        """Scale the effective rate for an injected fail-slow fault."""
+        if factor <= 0.0:
+            raise ResourceError(f"fault factor must be > 0, got {factor}")
+        self._fault_factor = float(factor)
+
+    @property
     def effective_rate(self) -> float:
-        """Current effective rate = nominal rate x speed factor."""
-        return self._service_rate * self._speed_factor
+        """Current effective rate = nominal rate x speed factor x fault factor."""
+        return self._service_rate * self._speed_factor * self._fault_factor
 
     # ------------------------------------------------------------------
     # Queue interface

@@ -108,6 +108,12 @@ class ShardResult:
     report: Dict[str, object]
     """The shard's full :meth:`SimulationReport.as_dict` for drill-down."""
 
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    """Injected-fault counts by kind on this shard (merge by addition)."""
+
+    fault_events: List[Dict[str, object]] = field(default_factory=list)
+    """This shard's injected-fault records (kind/target/start/end)."""
+
 
 @dataclass
 class ShardedReport:
@@ -224,12 +230,20 @@ def plan_shards(config, shards: int) -> List[object]:
             min_nodes=max(1, _split_count(cluster.min_nodes, shards, index)),
         )
         monitoring = dataclasses.replace(config.monitoring, buffered=True)
+        # A fault campaign splits with the scenario: each spec lands on
+        # exactly one shard (round-robin by position), so the sharded run
+        # injects the same faults as the classic one — once each, on a
+        # deterministic shard.
+        faults = config.faults
+        if faults is not None:
+            faults = faults.shard(index, shards)
         plans.append(
             dataclasses.replace(
                 config,
                 cluster=shard_cluster,
                 workload=shard_workload,
                 monitoring=monitoring,
+                faults=faults,
                 stream_namespace=f"shard{index}/{shards}",
                 label=f"{config.label}@s{index}",
             )
@@ -277,6 +291,11 @@ def run_shard(shard_config, index: int, shards: int) -> ShardResult:
         staleness_max=float(staleness.get("max_staleness", 0.0)),
         cost={key: float(cost.get(key, 0.0)) for key in _COST_KEYS},
         report=report.as_dict(),
+        fault_counts={
+            str(kind): int(count)
+            for kind, count in (report.fault_summary.get("by_kind") or {}).items()
+        },
+        fault_events=[dict(event) for event in report.fault_summary.get("events") or []],
     )
 
 
@@ -364,12 +383,37 @@ def merge_shard_results(results: Sequence[ShardResult]) -> Dict[str, object]:
         + cost["sla_penalty_cost"]
     )
 
+    # Fault records merge like every other reducer: counts add, and the
+    # merged event list is sorted by a total key (time, kind, target, shard)
+    # so it is identical for any shard execution order.
+    fault_counts: Dict[str, int] = {}
+    fault_events: List[Dict[str, object]] = []
+    for result in ordered:
+        for kind, count in result.fault_counts.items():
+            fault_counts[kind] = fault_counts.get(kind, 0) + count
+        for event in result.fault_events:
+            fault_events.append({**event, "shard": result.index})
+    fault_events.sort(
+        key=lambda event: (
+            event.get("start_time", 0.0),
+            str(event.get("kind", "")),
+            str(event.get("target", "")),
+            event.get("shard", 0),
+        )
+    )
+    faults: Dict[str, object] = {
+        "count": sum(fault_counts.values()),
+        "by_kind": {kind: fault_counts[kind] for kind in sorted(fault_counts)},
+        "events": fault_events,
+    }
+
     return {
         "workload": workload,
         "sla": sla,
         "staleness": staleness,
         "cost": cost,
         "events_processed": sum(result.events_processed for result in ordered),
+        "faults": faults,
         "sketches": {
             "read": read_sketch.snapshot(),
             "write": write_sketch.snapshot(),

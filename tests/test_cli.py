@@ -23,7 +23,7 @@ def test_parser_rejects_unknown_policy_and_experiment():
     with pytest.raises(SystemExit):
         parser.parse_args(["run", "--policy", "magic"])
     with pytest.raises(SystemExit):
-        parser.parse_args(["experiment", "E9"])
+        parser.parse_args(["experiment", "E99"])
     with pytest.raises(SystemExit):
         parser.parse_args([])
 
@@ -242,3 +242,73 @@ def test_admission_control_requires_tenants_and_pipeline_stage():
     )
     with pytest.raises(SystemExit, match="admission-control"):
         build_simulation_config(args)
+
+
+def test_faults_flag_builds_a_fault_plan():
+    from repro.cluster import FaultPlan
+
+    args = build_parser().parse_args(
+        [
+            "run",
+            "--faults",
+            "degrade:node=0,at=120,factor=0.3,duration=90",
+            "--faults",
+            "flaky-link:node=0,peer=1,at=60,duration=120,drop=0.1,delay=0.002",
+            "--faults",
+            "restart:at=200,downtime=15,settle=30",
+        ]
+    )
+    config = build_simulation_config(args)
+    assert isinstance(config.faults, FaultPlan)
+    kinds = [spec.kind for spec in config.faults.specs]
+    assert kinds == ["degrade", "flaky_link", "restart"]
+    degrade = config.faults.specs[0]
+    assert degrade.at == 120.0 and degrade.factor == 0.3 and degrade.duration == 90.0
+    flaky = config.faults.specs[1]
+    assert flaky.drop_probability == 0.1 and flaky.extra_delay == 0.002
+    assert flaky.peer == 1
+
+
+def test_faults_campaign_expands_from_fault_seed():
+    from repro.cluster import FaultPlan
+
+    args = build_parser().parse_args(
+        ["run", "--faults", "campaign:faults=4", "--fault-seed", "29"]
+    )
+    config = build_simulation_config(args)
+    assert len(config.faults.specs) == 4
+    assert config.faults.seed == 29
+    # Same fault seed, same campaign — the plan is a pure function of it.
+    expected = FaultPlan.generate(29, args.duration, faults=4, nodes=args.nodes)
+    assert config.faults.specs == expected.specs
+    # Without --fault-seed the campaign derives from the run seed.
+    args = build_parser().parse_args(["run", "--seed", "5", "--faults", "campaign"])
+    config = build_simulation_config(args)
+    assert config.faults.seed == 5
+    assert len(config.faults.specs) == 6
+
+
+def test_faults_flag_rejects_malformed_specs():
+    bad = [
+        ["run", "--faults", "meteor:at=10"],  # unknown kind
+        ["run", "--faults", "degrade:node=0"],  # missing at=
+        ["run", "--faults", "degrade:at=10,zap=1"],  # unknown parameter
+        ["run", "--faults", "degrade:at=ten"],  # unparseable value
+        ["run", "--faults", "degrade:at=10,factor=2.0"],  # FaultSpec range check
+        ["run", "--faults", "campaign:faults=2,at=10"],  # campaign + extras
+        ["run", "--faults", "crash:at=10,faults=3"],  # faults= outside campaign
+        ["run", "--fault-seed", "7"],  # seed without --faults
+    ]
+    for argv in bad:
+        with pytest.raises(SystemExit):
+            build_simulation_config(build_parser().parse_args(argv))
+
+
+def test_no_faults_flag_means_no_plan():
+    config = build_simulation_config(build_parser().parse_args(["run"]))
+    assert config.faults is None
+
+
+def test_experiment_fault_seed_is_e9_only():
+    with pytest.raises(SystemExit, match="E9"):
+        main(["experiment", "E1", "--fault-seed", "3", "--scale", "0.1"])

@@ -8,12 +8,15 @@ from repro.cluster import Cluster, ClusterConfig, ConsistencyLevel, FaultInjecto
 from repro.simulation import Simulator
 
 
-def make_setup(seed=1, nodes=3, rf=3):
+def make_setup(seed=1, nodes=3, rf=3, middleware=None):
     simulator = Simulator(seed=seed)
     cluster = Cluster(
         simulator,
         ClusterConfig(
-            initial_nodes=nodes, replication_factor=rf, node=NodeConfig(ops_capacity=500.0)
+            initial_nodes=nodes,
+            replication_factor=rf,
+            node=NodeConfig(ops_capacity=500.0),
+            middleware=middleware,
         ),
     )
     injector = FaultInjector(simulator, cluster)
@@ -109,3 +112,96 @@ def test_crash_during_traffic_creates_inconsistency_then_recovery_heals():
             if version is None or version.value != b"updated":
                 stale += 1
     assert stale <= 2
+
+
+# ----------------------------------------------------------------------
+# Recovery interleavings: faults composed with in-flight work
+# ----------------------------------------------------------------------
+def test_crash_during_inflight_hedged_read_completes():
+    """A replica crashing mid-read must not strand the hedged request path."""
+    from repro.middleware import HEDGED_PIPELINE
+
+    simulator, cluster, injector = make_setup(seed=5, middleware=HEDGED_PIPELINE)
+    cluster.preload({f"key{i}": b"v" for i in range(10)})
+    nodes = list(cluster.node_ids())
+    injector.crash_node(nodes[0], at=10.0, duration=30.0)
+
+    results = []
+    # Reads issued just before and exactly at the crash instant are in
+    # flight (fanout scheduled, responses pending) when the node dies.
+    for i in range(10):
+        simulator.schedule(
+            9.95 + i * 0.01,
+            lambda i=i: cluster.read(f"key{i}", on_complete=results.append),
+        )
+    simulator.run_until(60.0)
+    # Every read terminates — the arm/cancel bookkeeping of hedged requests
+    # survives the replica set changing underneath it.
+    assert len(results) == 10
+    assert all(r.success for r in results)
+
+
+def test_recover_then_handoff_replay_preserves_newest_version():
+    """Hint replay after recovery must not clobber writes newer than the hint."""
+    simulator, cluster, injector = make_setup(seed=7)
+    cluster.preload({"acct": b"v0"})
+    nodes = list(cluster.node_ids())
+    injector.crash_node(nodes[1], at=10.0, duration=30.0)
+
+    results = []
+    # v1 lands while the node is down (stored as a hint for it) ...
+    simulator.schedule(
+        20.0, lambda: cluster.write("acct", b"v1", on_complete=results.append)
+    )
+    # ... and v2 lands right after recovery, racing the hint replay.
+    simulator.schedule(
+        40.5, lambda: cluster.write("acct", b"v2", on_complete=results.append)
+    )
+    simulator.run_until(300.0)
+    assert all(r.success for r in results)
+    version = cluster.nodes[nodes[1]].storage.peek("acct")
+    assert version is not None
+    assert version.value == b"v2"
+
+
+def test_degrade_crash_recover_keeps_fault_factor():
+    """A fail-slow factor applied before a crash survives the recovery."""
+    simulator, cluster, injector = make_setup()
+    node_id = cluster.node_ids()[0]
+    injector.degrade_node(node_id, at=5.0, factor=0.5, duration=100.0)
+    injector.crash_node(node_id, at=20.0, duration=20.0)
+    simulator.run_until(50.0)
+    node = cluster.nodes[node_id]
+    assert node.is_up
+    assert node.server.fault_factor == pytest.approx(0.5)
+    simulator.run_until(120.0)
+    assert node.server.fault_factor == pytest.approx(1.0)
+
+
+def test_overlapping_partitions_heal_independently():
+    """Healing one partition window must leave the other still severed."""
+    simulator, cluster, injector = make_setup()
+    nodes = list(cluster.node_ids())
+    injector.partition([nodes[0]], [nodes[1]], at=10.0, duration=50.0)
+    injector.partition([nodes[0]], [nodes[2]], at=20.0, duration=20.0)
+    simulator.run_until(30.0)
+    assert cluster.network.is_partitioned(nodes[0], nodes[1])
+    assert cluster.network.is_partitioned(nodes[0], nodes[2])
+    # The short window healed at t=40; the long one is still open.
+    simulator.run_until(45.0)
+    assert cluster.network.is_partitioned(nodes[0], nodes[1])
+    assert not cluster.network.is_partitioned(nodes[0], nodes[2])
+    simulator.run_until(70.0)
+    assert not cluster.network.is_partitioned(nodes[0], nodes[1])
+
+
+def test_same_pair_partitioned_twice_stays_severed_until_both_heal():
+    """Two partitions covering one pair refcount: one heal is not enough."""
+    simulator, cluster, injector = make_setup()
+    nodes = list(cluster.node_ids())
+    injector.partition([nodes[0]], [nodes[1]], at=10.0, duration=20.0)
+    injector.partition([nodes[0]], [nodes[1], nodes[2]], at=15.0, duration=40.0)
+    simulator.run_until(35.0)  # first window healed at t=30
+    assert cluster.network.is_partitioned(nodes[0], nodes[1])
+    simulator.run_until(60.0)  # second window healed at t=55
+    assert not cluster.network.is_partitioned(nodes[0], nodes[1])

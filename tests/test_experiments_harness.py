@@ -10,7 +10,7 @@ from repro.experiments.tables import ExperimentResult
 
 
 def test_experiment_registry_is_complete():
-    assert set(EXPERIMENTS) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+    assert set(EXPERIMENTS) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
     for module in EXPERIMENTS.values():
         assert hasattr(module, "run")
 
