@@ -120,11 +120,16 @@ def bench_kernel_events(
     start = time.perf_counter()
     executed = sim.run_until(1e9)
     wall = time.perf_counter() - start
+    queue_stats = sim.queue_stats()
     return {
         "events": executed,
         "wall_seconds": round(wall, 4),
         "events_per_sec": round(executed / wall, 1),
         "chains": chains,
+        # Heap-churn counters: how many cancelled corpses the pop path had
+        # to sift, and how deep the heap ever got.
+        "cancelled_skipped": queue_stats["cancelled_skipped"],
+        "peak_pending": queue_stats["peak_pending"],
     }
 
 
@@ -238,6 +243,8 @@ def bench_hedged_stack(duration: float = 300.0, seed: int = 42) -> dict:
             "the section is measuring a no-op (budget source or interference "
             "wiring broke)"
         )
+    queue_stats = simulation.simulator.queue_stats()
+    timer_stats = simulation.cluster.coordinator.timer_stats()
     return {
         "sim_duration": duration,
         "seed": seed,
@@ -249,6 +256,15 @@ def bench_hedged_stack(duration: float = 300.0, seed: int = 42) -> dict:
         "events_per_sec": round(report.events_processed / wall, 1),
         "hedges_armed": hedging.hedges_armed if hedging else 0,
         "hedges_fired": hedges_fired,
+        # Heap-churn view of the timer amortisation (PERFORMANCE.md rule
+        # 11): wheel counters plus how many cancelled corpses still reached
+        # the heap and had to be sifted out.
+        "cancelled_skipped": queue_stats["cancelled_skipped"],
+        "peak_pending": queue_stats["peak_pending"],
+        "timers_armed": timer_stats.get("timers_armed", 0),
+        "timers_wheeled": timer_stats.get("timers_wheeled", 0),
+        "timers_cancelled": timer_stats.get("timers_cancelled", 0),
+        "timers_promoted": timer_stats.get("timers_promoted", 0),
     }
 
 

@@ -44,6 +44,7 @@ from ..middleware.base import (
 from ..middleware.builtin import default_coordinator_pipeline
 from ..simulation.engine import Simulator
 from ..simulation.events import EventHandle
+from ..simulation.timers import TimerService
 from ..simulation.network import NetworkModel
 from .membership import MembershipService
 from .node import ReplicaReadResponse, ReplicaWriteResponse, StorageNode
@@ -176,7 +177,9 @@ class RequestCoordinator:
         # the default selection/consistency/staleness/monitoring stack; the
         # Cluster facade replaces it with the registry-built one before any
         # request flows.
-        self._pipeline = pipeline or default_coordinator_pipeline(self)
+        self._timers: Optional[TimerService] = None
+        self._arm_timer = simulator.schedule_in
+        self._install_pipeline(pipeline or default_coordinator_pipeline(self))
 
         # Counters used by reports and tests.
         self.writes_started = 0
@@ -207,7 +210,32 @@ class RequestCoordinator:
 
     def set_pipeline(self, pipeline: MiddlewarePipeline) -> None:
         """Install a request pipeline (done once by the cluster facade)."""
+        self._install_pipeline(pipeline)
+
+    def _install_pipeline(self, pipeline: MiddlewarePipeline) -> None:
+        # Timer arms (`write:timeout`, `read:timeout`, `read:hedge`) go
+        # through ``self._arm_timer``.  When a stage opts in to amortised
+        # timers (PERFORMANCE.md rule 11) that is a TimerService wheel;
+        # otherwise it is literally the simulator's ``schedule_in`` bound
+        # method — the default stack pays nothing and its event sequence is
+        # bit-identical by construction.
         self._pipeline = pipeline
+        granularity = getattr(pipeline, "timer_granularity", None)
+        if granularity is not None:
+            self._timers = TimerService(self._simulator, granularity=granularity)
+            self._arm_timer = self._timers.arm
+        else:
+            self._timers = None
+            self._arm_timer = self._simulator.schedule_in
+
+    @property
+    def timers(self) -> Optional[TimerService]:
+        """The amortised timer wheel, when the pipeline opted in (else ``None``)."""
+        return self._timers
+
+    def timer_stats(self) -> Dict[str, object]:
+        """Wheel counters for reports/bench; empty dict on the direct path."""
+        return self._timers.stats() if self._timers is not None else {}
 
     def next_sequence(self) -> int:
         """Allocate the next version-stamp sequence number."""
@@ -374,7 +402,7 @@ class RequestCoordinator:
         for node_id in live:
             self._send_replica_write(context, coordinator_id, node_id, key, version)
 
-        context.timeout_handle = self._simulator.schedule_in(
+        context.timeout_handle = self._arm_timer(
             self._config.operation_timeout,
             self._write_timeout,
             context,
@@ -608,7 +636,7 @@ class RequestCoordinator:
                 request.send_times[node_id] = self._simulator.now
             self._send_replica_read(context, coordinator_id, node_id, key)
 
-        context.timeout_handle = self._simulator.schedule_in(
+        context.timeout_handle = self._arm_timer(
             self._config.operation_timeout,
             self._read_timeout,
             context,
@@ -624,7 +652,7 @@ class RequestCoordinator:
             if plan is not None:
                 budget, candidates = plan
                 request.hedge_armed = True
-                context.hedge_handle = self._simulator.schedule_in(
+                context.hedge_handle = self._arm_timer(
                     budget,
                     self._fire_hedge,
                     context,

@@ -136,6 +136,13 @@ class RequestMiddleware:
     #: Registry name; instances report it in pipeline descriptions.
     name: str = "middleware"
 
+    #: Stages whose speculative timers are overwhelmingly cancelled may set
+    #: a wheel granularity (seconds); the pipeline surfaces the tightest one
+    #: as ``timer_granularity`` and the coordinator then routes its timer
+    #: arms through an amortised ``TimerService`` (PERFORMANCE.md rule 11).
+    #: ``None`` (the default) leaves timers on the direct heap path.
+    timer_wheel_granularity: Optional[float] = None
+
     def on_request(self, ctx: RequestContext) -> None:
         """Called before fan-out; may rewrite ``ctx.consistency_level`` or reject."""
 
@@ -233,6 +240,7 @@ class MiddlewarePipeline:
         "hedges_reads",
         "orders_write_targets",
         "prefers_coordinator",
+        "timer_granularity",
     )
 
     def __init__(self, middlewares: Sequence[RequestMiddleware] = ()) -> None:
@@ -270,6 +278,17 @@ class MiddlewarePipeline:
         self.hedges_reads = bool(self._hedgers)
         self.orders_write_targets = bool(self._write_orderers)
         self.prefers_coordinator = bool(self._preferrers)
+        # Amortised-timer opt-in: the tightest wheel granularity any stage
+        # declares, or ``None`` when no stage does — in which case the
+        # coordinator keeps arming timers directly on the heap and no
+        # TimerService is ever constructed (the default stack's event
+        # sequence stays bit-identical by construction).
+        granularity: Optional[float] = None
+        for middleware in self._middlewares:
+            declared = middleware.timer_wheel_granularity
+            if declared is not None and (granularity is None or declared < granularity):
+                granularity = float(declared)
+        self.timer_granularity = granularity
 
     # ------------------------------------------------------------------
     # Introspection

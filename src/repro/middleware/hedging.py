@@ -33,6 +33,7 @@ default stack (which lacks it) schedules no hedge timers at all
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .base import RequestContext, RequestMiddleware
@@ -53,6 +54,13 @@ class RequestHedging(RequestMiddleware):
 
     name = "request-hedging"
 
+    #: Opt in to the coordinator's amortised timer wheel: hedge and timeout
+    #: timers are overwhelmingly cancelled, which is exactly the population
+    #: the wheel's free lazy cancel targets (PERFORMANCE.md rule 11).  The
+    #: instance attribute set in ``__init__`` shadows this; ``None`` keeps
+    #: timers on the direct heap path.
+    timer_wheel_granularity: Optional[float] = None
+
     def __init__(
         self,
         tracker: NodeRttTracker,
@@ -61,6 +69,12 @@ class RequestHedging(RequestMiddleware):
         budget: Optional[float] = None,
         min_budget: float = 0.001,
         observe: bool = False,
+        clock: Optional[Callable[[], float]] = None,
+        budget_refresh_interval: float = 0.5,
+        timer_granularity: Optional[float] = 0.025,
+        hot_key_fraction: float = 0.5,
+        hot_key_threshold: int = 32,
+        hot_key_decay_every: int = 1024,
     ) -> None:
         if operation_timeout <= 0.0:
             raise ValueError(f"operation_timeout must be > 0, got {operation_timeout}")
@@ -72,6 +86,24 @@ class RequestHedging(RequestMiddleware):
             )
         if min_budget <= 0.0:
             raise ValueError(f"min_budget must be > 0, got {min_budget}")
+        if budget_refresh_interval <= 0.0:
+            raise ValueError(
+                f"budget_refresh_interval must be > 0, got {budget_refresh_interval}"
+            )
+        if timer_granularity is not None and timer_granularity <= 0.0:
+            raise ValueError(
+                f"timer_granularity must be > 0 (or None), got {timer_granularity}"
+            )
+        if not 0.0 < hot_key_fraction <= 1.0:
+            raise ValueError(
+                f"hot_key_fraction must be in (0, 1], got {hot_key_fraction}"
+            )
+        if hot_key_threshold < 1:
+            raise ValueError(f"hot_key_threshold must be >= 1, got {hot_key_threshold}")
+        if hot_key_decay_every < 1:
+            raise ValueError(
+                f"hot_key_decay_every must be >= 1, got {hot_key_decay_every}"
+            )
         self._tracker = tracker
         self._static_budget = (
             float(budget) if budget is not None else float(budget_fraction) * operation_timeout
@@ -79,6 +111,31 @@ class RequestHedging(RequestMiddleware):
         self._min_budget = min(float(min_budget), self._static_budget)
         self._budget_source: Optional[Callable[[], float]] = None
         self._observe = bool(observe)
+        self.timer_wheel_granularity = (
+            float(timer_granularity) if timer_granularity is not None else None
+        )
+
+        # Budget cache: recomputing the p99-derived budget on *every* arm is
+        # the hedged stack's single hottest line (a windowed ``np.percentile``
+        # per read).  With a clock, the budget is refreshed at most once per
+        # ``budget_refresh_interval`` of simulated time — a pure function of
+        # the clock and observation history, so runs stay deterministic.
+        # Without a clock (direct construction in tests/tools) every call
+        # recomputes, preserving the original semantics exactly.
+        self._clock = clock
+        self._budget_refresh_interval = float(budget_refresh_interval)
+        self._budget_valid_until = -math.inf
+        self._cached_budget = self._static_budget
+
+        # Per-key budgets: keys observed hedging far more often than their
+        # peers get a tighter budget (hedge *earlier*), bounding the tail a
+        # single hot key can impose.  Pure counting with periodic halving —
+        # deterministic, no RNG, memory bounded by the decay.
+        self._hot_key_fraction = float(hot_key_fraction)
+        self._hot_key_threshold = int(hot_key_threshold)
+        self._hot_key_decay_every = int(hot_key_decay_every)
+        self._key_counts: Dict[str, int] = {}
+        self._arms_since_decay = 0
 
         self.hedges_armed = 0
         """Reads for which a hedge timer was armed."""
@@ -91,6 +148,9 @@ class RequestHedging(RequestMiddleware):
 
         self.hedges_won = 0
         """Fired hedges whose backup response completed the read."""
+
+        self.hot_key_hedges = 0
+        """Hedges armed at the tightened hot-key budget."""
 
     @property
     def tracker(self) -> NodeRttTracker:
@@ -112,12 +172,27 @@ class RequestHedging(RequestMiddleware):
         self._budget_source = source
 
     def current_budget(self) -> float:
-        """The budget the next armed hedge timer will use, in seconds."""
-        if self._budget_source is not None:
-            dynamic = float(self._budget_source())
-            if dynamic > 0.0:
-                return min(max(dynamic, self._min_budget), self._static_budget)
-        return self._static_budget
+        """The budget the next armed hedge timer will use, in seconds.
+
+        With a clock attached, the dynamic budget is cached and refreshed
+        at most once per ``budget_refresh_interval`` of simulated time.
+        """
+        if self._budget_source is None:
+            return self._static_budget
+        clock = self._clock
+        if clock is not None:
+            now = clock()
+            if now < self._budget_valid_until:
+                return self._cached_budget
+            self._budget_valid_until = now + self._budget_refresh_interval
+        dynamic = float(self._budget_source())
+        if dynamic > 0.0:
+            budget = min(max(dynamic, self._min_budget), self._static_budget)
+        else:
+            budget = self._static_budget
+        if clock is not None:
+            self._cached_budget = budget
+        return budget
 
     # ------------------------------------------------------------------
     # Hooks
@@ -139,7 +214,23 @@ class RequestHedging(RequestMiddleware):
 
         spares.sort(key=rank)
         self.hedges_armed += 1
-        return (self.current_budget(), spares)
+        budget = self.current_budget()
+        # Per-key tightening: a key hedging far more often than its peers
+        # inside the current decay window is paying for a slow replica on
+        # a hot path — hedge it earlier.  Counting only; no RNG.
+        key = ctx.key if ctx is not None else None
+        if key is not None and self._hot_key_fraction < 1.0:
+            counts = self._key_counts
+            count = counts.get(key, 0) + 1
+            counts[key] = count
+            self._arms_since_decay += 1
+            if self._arms_since_decay >= self._hot_key_decay_every:
+                self._arms_since_decay = 0
+                self._key_counts = {k: c >> 1 for k, c in counts.items() if c >= 2}
+            if count >= self._hot_key_threshold:
+                self.hot_key_hedges += 1
+                budget = max(self._min_budget, budget * self._hot_key_fraction)
+        return (budget, spares)
 
     def on_replica_response(self, ctx: RequestContext, node_id: str, rtt: float) -> None:
         # Feed the shared tracker only when no earlier stage already does.
@@ -170,6 +261,9 @@ class RequestHedging(RequestMiddleware):
             "hedges_cancelled": self.hedges_cancelled,
             "hedges_fired": self.hedges_fired,
             "hedges_won": self.hedges_won,
+            "hot_key_hedges": self.hot_key_hedges,
+            "hot_keys_tracked": len(self._key_counts),
+            "timer_wheel_granularity": self.timer_wheel_granularity,
         }
 
 
@@ -179,6 +273,8 @@ def _build_request_hedging(ctx: MiddlewareBuildContext) -> RequestHedging:
         raise ValueError("request-hedging middleware requires a coordinator")
     tracker, created = shared_node_tracker(ctx, alpha=float(ctx.params.get("alpha", 0.3)))
     budget = ctx.params.get("budget")
+    granularity = ctx.params.get("timer_granularity", 0.025)
+    simulator = ctx.simulator
     return RequestHedging(
         tracker,
         operation_timeout=ctx.coordinator.config.operation_timeout,
@@ -186,4 +282,10 @@ def _build_request_hedging(ctx: MiddlewareBuildContext) -> RequestHedging:
         budget=float(budget) if budget is not None else None,
         min_budget=float(ctx.params.get("min_budget", 0.001)),
         observe=created,
+        clock=(lambda: simulator.now) if simulator is not None else None,
+        budget_refresh_interval=float(ctx.params.get("budget_refresh_interval", 0.5)),
+        timer_granularity=float(granularity) if granularity is not None else None,
+        hot_key_fraction=float(ctx.params.get("hot_key_fraction", 0.5)),
+        hot_key_threshold=int(ctx.params.get("hot_key_threshold", 32)),
+        hot_key_decay_every=int(ctx.params.get("hot_key_decay_every", 1024)),
     )

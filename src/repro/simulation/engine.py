@@ -223,7 +223,10 @@ class Simulator:
         queue._sequence = sequence + 1
         queue._scheduled += 1
         event = Event(time, priority, sequence, callback, args, False, label)
-        heappush(queue._heap, (time, priority, sequence, event))
+        heap = queue._heap
+        heappush(heap, (time, priority, sequence, event))
+        if len(heap) > queue._peak_pending:
+            queue._peak_pending = len(heap)
         return EventHandle(event)
 
     def call_every(

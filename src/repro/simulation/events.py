@@ -137,6 +137,7 @@ class EventQueue:
         self._scheduled = 0
         self._fired = 0
         self._cancelled_skipped = 0
+        self._peak_pending = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -158,7 +159,29 @@ class EventQueue:
         event = Event(time, priority, sequence, callback, args, False, label)
         heappush(self._heap, (time, priority, sequence, event))
         self._scheduled += 1
+        if len(self._heap) > self._peak_pending:
+            self._peak_pending = len(self._heap)
         return EventHandle(event)
+
+    def reserve_sequence(self) -> int:
+        """Allocate a sequence number without pushing an event.
+
+        Used by the timer wheel (:mod:`repro.simulation.timers`): a timer
+        reserves its place in the total order at arm time, so that if it
+        survives to promotion it sorts exactly as if it had been pushed
+        then.  A reserved sequence that is never pushed is simply a hole in
+        the numbering — order is what matters, not density.
+        """
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        return sequence
+
+    def push_reserved(self, event: Event) -> None:
+        """Heap an event carrying a pre-reserved sequence (timer promotion)."""
+        heappush(self._heap, (event.time, event.priority, event.sequence, event))
+        self._scheduled += 1
+        if len(self._heap) > self._peak_pending:
+            self._peak_pending = len(self._heap)
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or ``None``."""
@@ -218,4 +241,5 @@ class EventQueue:
             "fired": self._fired,
             "cancelled_skipped": self._cancelled_skipped,
             "pending": len(self._heap),
+            "peak_pending": self._peak_pending,
         }

@@ -1,0 +1,200 @@
+"""Amortised timers: a hashed wheel feeding the exact event heap.
+
+The hedged stack arms one timer per read (the hedge budget) and one per
+operation (the timeout) — and cancels almost all of them within a few
+milliseconds of arming.  Routing those through :meth:`Simulator.schedule_in`
+means every arm is a ``heappush`` and every cancel leaves a corpse the hot
+loop must later sift out (``cancelled_skipped``): the speculative machinery
+roughly doubles heap churn per read for timers that overwhelmingly never
+fire.
+
+:class:`TimerService` erases that tax with a classic hashed timer wheel in
+front of the heap:
+
+* **arm** is O(1): the timer is appended to a coarse bucket keyed by
+  ``floor(deadline / granularity)``.  The first timer to land in a bucket
+  schedules one *tick* event at the bucket's start time — every later timer
+  in the same bucket costs a dict lookup and a list append, no heap at all.
+* **cancel** is O(1) and free: it flips the timer's ``cancelled`` flag.  A
+  timer cancelled before its bucket ticks is simply skipped at the tick —
+  it never touches the heap and leaves no corpse for ``pop_due`` to sift.
+* **promotion preserves exactness**: at the tick, each surviving timer is
+  pushed into the heap at its *precise* deadline carrying the queue
+  sequence number *reserved at arm time*.  Heap order is
+  ``(time, priority, sequence)``, so a promoted timer sorts exactly as if
+  it had been pushed by ``schedule_in`` at the moment it was armed —
+  survivors fire at bit-identical times, in bit-identical order, with
+  bit-identical interleaving against ordinary events
+  (``tests/test_simulation_timers.py`` property-tests this equivalence).
+
+The tick runs at :data:`PRIORITY_TIMER_TICK` (below every user priority),
+so a bucket's survivors are already in the heap before any ordinary event
+at the tick's timestamp executes.  Arms whose deadline cannot be wheeled —
+the bucket's start is already in the past, or floating-point rounding put
+the tick after the deadline — fall back to a direct ``schedule_in``, which
+is always correct (the wheel is an optimisation, never a semantic).
+
+Only pipelines that declare a ``timer_granularity`` get a TimerService
+(see ``MiddlewarePipeline``); the default stack binds its timer arms
+straight to ``schedule_in`` and never constructs one, keeping its event
+sequence bit-identical by construction (PERFORMANCE.md rules 6/7/11).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from .errors import SchedulingError
+from .events import PRIORITY_NORMAL, Event, EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type hints only
+    from .engine import Simulator
+
+__all__ = ["TimerService", "PRIORITY_TIMER_TICK", "DEFAULT_TIMER_GRANULARITY"]
+
+#: Priority of a bucket's promotion tick.  Below ``PRIORITY_CONTROL`` so
+#: survivors are heaped before *anything* else runs at the tick timestamp.
+PRIORITY_TIMER_TICK = -100
+
+#: Default wheel granularity in seconds.  Chosen against the hedged stack's
+#: timer population: operation timeouts (~1 s) are always wheelable and
+#: cancelled ~5 ms after arming — far before their bucket ticks — while
+#: hedge budgets (1–50 ms) wheel whenever the budget spans a bucket edge.
+DEFAULT_TIMER_GRANULARITY = 0.025
+
+
+class TimerService:
+    """Hashed timer wheel with O(1) arm / O(1) lazy cancel over a Simulator.
+
+    ``arm`` mirrors :meth:`Simulator.schedule_in`'s signature and returns
+    the same :class:`EventHandle`, so call sites swap between the two by
+    rebinding one attribute.
+    """
+
+    __slots__ = (
+        "_simulator",
+        "_granularity",
+        "_buckets",
+        "timers_armed",
+        "timers_wheeled",
+        "timers_direct",
+        "timers_cancelled",
+        "timers_promoted",
+    )
+
+    def __init__(
+        self, simulator: "Simulator", granularity: float = DEFAULT_TIMER_GRANULARITY
+    ) -> None:
+        if not (granularity > 0.0 and math.isfinite(granularity)):
+            raise SchedulingError(
+                f"timer granularity must be finite and > 0, got {granularity}"
+            )
+        self._simulator = simulator
+        self._granularity = float(granularity)
+        # bucket index -> timers armed into that bucket, in arm order.
+        self._buckets: Dict[int, List[Event]] = {}
+
+        self.timers_armed = 0
+        """Total ``arm`` calls (wheeled + direct)."""
+
+        self.timers_wheeled = 0
+        """Arms parked in a wheel bucket (never heaped unless they survive)."""
+
+        self.timers_direct = 0
+        """Arms that fell back to a direct ``schedule_in`` (unwheelable)."""
+
+        self.timers_cancelled = 0
+        """Wheeled timers cancelled before their bucket ticked — zero heap cost."""
+
+        self.timers_promoted = 0
+        """Wheeled timers that survived to their tick and entered the heap."""
+
+    @property
+    def granularity(self) -> float:
+        """Bucket width in simulated seconds."""
+        return self._granularity
+
+    def arm(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        label: Optional[str] = None,
+    ) -> EventHandle:
+        """Arm ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        Semantically identical to ``Simulator.schedule_in`` — same
+        validation, same handle, same firing time/order for survivors —
+        but cancels that land before the bucket tick cost nothing.
+        """
+        self.timers_armed += 1
+        simulator = self._simulator
+        granularity = self._granularity
+        deadline = simulator.now + delay
+        if math.isfinite(deadline):
+            bucket = int(deadline // granularity)
+            tick_time = bucket * granularity
+        else:
+            bucket = 0
+            tick_time = math.nan  # force the fallback; schedule_in raises
+        # Unwheelable: the bucket already started (short delay within the
+        # current bucket, or a negative delay) or float rounding pushed the
+        # tick past the deadline.  Direct scheduling is always exact; let it
+        # also handle the negative/non-finite validation.
+        if not tick_time > simulator.now or tick_time > deadline:
+            self.timers_direct += 1
+            return simulator.schedule_in(
+                delay, callback, *args, priority=priority, label=label
+            )
+        self.timers_wheeled += 1
+        queue = simulator._queue
+        # Reserve the sequence number *now*: if the timer survives to its
+        # tick it enters the heap sorting exactly as if pushed here.
+        event = Event(deadline, priority, queue.reserve_sequence(), callback, args, False, label)
+        timers = self._buckets.get(bucket)
+        if timers is None:
+            self._buckets[bucket] = [event]
+            simulator.schedule(
+                tick_time,
+                self._tick,
+                bucket,
+                priority=PRIORITY_TIMER_TICK,
+                label="timer:tick",
+            )
+        else:
+            timers.append(event)
+        return EventHandle(event)
+
+    def _tick(self, bucket: int) -> None:
+        """Promote a bucket's survivors into the heap at their exact deadlines."""
+        queue = self._simulator._queue
+        push_reserved = queue.push_reserved
+        cancelled = 0
+        promoted = 0
+        for event in self._buckets.pop(bucket):
+            if event.cancelled:
+                cancelled += 1
+            else:
+                promoted += 1
+                push_reserved(event)
+        self.timers_cancelled += cancelled
+        self.timers_promoted += promoted
+
+    def pending_timers(self) -> int:
+        """Timers currently parked in wheel buckets (incl. lazily cancelled)."""
+        return sum(len(timers) for timers in self._buckets.values())
+
+    def stats(self) -> Dict[str, Any]:
+        """Wheel counters (for the bench harness and tests)."""
+        return {
+            "granularity": self._granularity,
+            "timers_armed": self.timers_armed,
+            "timers_wheeled": self.timers_wheeled,
+            "timers_direct": self.timers_direct,
+            "timers_cancelled": self.timers_cancelled,
+            "timers_promoted": self.timers_promoted,
+            "pending_buckets": len(self._buckets),
+            "pending_timers": self.pending_timers(),
+        }

@@ -161,7 +161,15 @@ class WorkloadSpec:
     Two semantic differences to be aware of: the preload still draws sizes
     on the base stream (it was already chunked there), and key indices are
     pre-drawn a chunk at a time, so inserts only widen the key-popularity
-    distribution for draws in *later* chunks."""
+    distribution for draws in *later* chunks.
+
+    Composes with ``tenants``: main arrivals consume the *same* chunked
+    ``:gap``/``:mix``/``:key``/``:size`` sequences a tenantless open-loop run
+    does (no draw is reordered — rule 3); the tenant pick is chunked on the
+    dedicated ``:tenant`` stream, and each burst override draws from its own
+    four chunked ``:tenant:<idx>:gap``/``:mix``/``:key``/``:size`` streams
+    (distinct names from the classic mode's interleaved ``:tenant:<idx>``
+    stream, which a tenant open-loop run never opens)."""
 
     def __post_init__(self) -> None:
         unknown = set(self.consistency_overrides) - set(CONSISTENCY_OVERRIDE_KINDS)
@@ -169,13 +177,6 @@ class WorkloadSpec:
             raise ValueError(
                 f"unknown consistency_overrides keys {sorted(unknown)}; "
                 f"expected a subset of {CONSISTENCY_OVERRIDE_KINDS}"
-            )
-        if self.open_loop and self.tenants is not None:
-            raise ValueError(
-                "open_loop arrivals do not support tenant populations yet: "
-                "the tenant path interleaves per-tenant draws that cannot be "
-                "chunked without reordering tenant streams (sharded tenant "
-                "runs use the classic arrival path per shard)"
             )
 
     def build_distribution(self) -> KeyDistribution:
@@ -467,6 +468,38 @@ class _BurstProcess:
         self.label = label
 
 
+class _OpenLoopBurst:
+    """A tenant's load-shape override in open-loop arrival mode.
+
+    Same superposed process as :class:`_BurstProcess`, but every draw type
+    lives on its own dedicated single-consumer stream
+    (``workload:<name>:tenant:<idx>:gap`` / ``:mix`` / ``:key`` / ``:size``)
+    so each can be consumed in chunks.  The stream names are distinct from
+    the classic mode's interleaved ``workload:<name>:tenant:<idx>`` stream —
+    a new arrival mode draws from new streams (PERFORMANCE.md rule 3).
+    """
+
+    __slots__ = ("runtime", "shape", "label", "gap_draws", "mix_draws", "key_draws", "size_draws")
+
+    def __init__(
+        self,
+        runtime: "_TenantRuntime",
+        shape: LoadShape,
+        label: str,
+        gap_draws: _ChunkedDraws,
+        mix_draws: _ChunkedDraws,
+        key_draws: _ChunkedDraws,
+        size_draws: _ChunkedDraws,
+    ) -> None:
+        self.runtime = runtime
+        self.shape = shape
+        self.label = label
+        self.gap_draws = gap_draws
+        self.mix_draws = mix_draws
+        self.key_draws = key_draws
+        self.size_draws = size_draws
+
+
 class WorkloadGenerator:
     """Open-loop Poisson workload driver for one cluster."""
 
@@ -526,15 +559,21 @@ class WorkloadGenerator:
                 )
                 for profile in self.population.profiles
             ]
-            self._bursts = [
-                _BurstProcess(
-                    self._tenants[index],
-                    shape,
-                    simulator.streams.stream(f"workload:{name}:tenant:{index}"),
-                    f"{name}:tenant-burst:{index}",
-                )
-                for index, shape in sorted(tenant_spec.load_shape_overrides.items())
-            ]
+            if self.spec.open_loop:
+                # Open-loop bursts are built in the open-loop block below on
+                # their own ``:tenant:<idx>:*`` streams; the classic
+                # interleaved ``:tenant:<idx>`` streams are never opened.
+                self._bursts = []
+            else:
+                self._bursts = [
+                    _BurstProcess(
+                        self._tenants[index],
+                        shape,
+                        simulator.streams.stream(f"workload:{name}:tenant:{index}"),
+                        f"{name}:tenant-burst:{index}",
+                    )
+                    for index, shape in sorted(tenant_spec.load_shape_overrides.items())
+                ]
             self._issue: Callable[[], None] = self._issue_one_tenant
         else:
             self.population = None
@@ -565,6 +604,27 @@ class WorkloadGenerator:
             )
             self._issue = self._issue_one_open
             self._schedule_next_arrival = self._schedule_next_arrival_open
+            if self.population is not None:
+                # Tenant dimension on top of open-loop arrivals: the main
+                # process keeps the exact tenantless draw sequences above
+                # (rule 3 — nothing reordered), the tenant pick is chunked
+                # on its dedicated ``:tenant`` stream, and each burst
+                # override gets four chunked streams of its own.
+                tenant_rng = self._tenant_rng
+                self._tenant_draws = _ChunkedDraws(lambda: tenant_rng.random(chunk))
+                self._bursts = [
+                    _OpenLoopBurst(
+                        self._tenants[index],
+                        shape,
+                        f"{name}:tenant-burst:{index}",
+                        *self._make_burst_draws(index),
+                    )
+                    for index, shape in sorted(
+                        tenant_spec.load_shape_overrides.items()
+                    )
+                ]
+                self._issue = self._issue_one_open_tenant
+                self._schedule_burst = self._schedule_burst_open
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -738,6 +798,110 @@ class WorkloadGenerator:
             on_complete=stats.record_write,
             hints=hints,
         )
+
+    def _make_burst_draws(self, index: int):
+        """Chunked draw buffers for one open-loop burst's four streams."""
+        chunk = self._OPEN_LOOP_CHUNK
+        streams = self._simulator.streams
+        base = f"workload:{self.name}:tenant:{index}"
+        gap_rng = streams.stream(f"{base}:gap")
+        mix_rng = streams.stream(f"{base}:mix")
+        key_rng = streams.stream(f"{base}:key")
+        size_rng = streams.stream(f"{base}:size")
+        return (
+            _ChunkedDraws(lambda: gap_rng.exponential(1.0, size=chunk)),
+            _ChunkedDraws(lambda: mix_rng.random(chunk)),
+            _ChunkedDraws(lambda: self._distribution.next_indices(key_rng, chunk)),
+            _ChunkedDraws(lambda: self._sizer.next_sizes(size_rng, chunk)),
+        )
+
+    def _issue_one_open_tenant(self) -> None:
+        """One open-loop main-process arrival in tenant mode.
+
+        The tenant pick is the only extra draw, chunked on the dedicated
+        ``:tenant`` stream; kind/key/size stay on the shared open-loop
+        streams in exactly the tenantless order.
+        """
+        u = float(self._tenant_draws.next())
+        runtime = self._tenants[self.population.choose_index(u)]
+        self._issue_for_open(
+            runtime, self._mix_draws, self._key_draws, self._size_draws
+        )
+
+    def _issue_for_open(
+        self,
+        runtime: _TenantRuntime,
+        mix_draws: _ChunkedDraws,
+        key_draws: _ChunkedDraws,
+        size_draws: _ChunkedDraws,
+    ) -> None:
+        """Issue one operation for ``runtime``'s tenant from chunked buffers.
+
+        Mirrors :meth:`_issue_for` (same draw pattern per operation kind, so
+        the shared streams see the tenantless sequence) with the classic
+        tenant-insert semantics: the tenant's private key space grows, the
+        shared popularity distribution does not.
+        """
+        distribution = self._distribution
+        stats = self.stats
+        entry = runtime.stats
+        kind = self._mix.kind_for(float(mix_draws.next()))
+        if kind == "read":
+            index = int(key_draws.next())
+            key = distribution.key_for(index, runtime.key_prefix)
+            stats.reads_issued += 1
+            entry.reads_issued += 1
+            self._cluster.read(
+                key, on_complete=stats.record_read, hints=runtime.read_hints
+            )
+            return
+        if kind == "insert":
+            index = runtime.next_record_index
+            runtime.next_record_index += 1
+            hints = runtime.insert_hints
+        else:
+            index = int(key_draws.next())
+            hints = runtime.update_hints
+        key = distribution.key_for(index, runtime.key_prefix)
+        size = int(size_draws.next())
+        stats.writes_issued += 1
+        entry.writes_issued += 1
+        self._cluster.write(
+            key,
+            value=b"\x00" * min(size, 64),
+            size=size,
+            on_complete=stats.record_write,
+            hints=hints,
+        )
+
+    def _schedule_burst_open(self, burst: _OpenLoopBurst) -> None:
+        if not self._running:
+            return
+        rate = burst.shape.rate(self._simulator.now)
+        if rate <= 1e-9:
+            # Quiescent shape: poll without consuming any burst stream,
+            # exactly like the classic burst path.
+            self._simulator.schedule_in(
+                self._BURST_IDLE_POLL,
+                self._burst_tick_open,
+                burst,
+                False,
+                label=burst.label,
+            )
+            return
+        gap = float(burst.gap_draws.next()) / rate
+        self._simulator.schedule_in(
+            gap, self._burst_tick_open, burst, True, label=burst.label
+        )
+
+    def _burst_tick_open(self, burst: _OpenLoopBurst, issue: bool) -> None:
+        if not self._running:
+            return
+        if issue:
+            self._issue_for_open(
+                burst.runtime, burst.mix_draws, burst.key_draws, burst.size_draws
+            )
+        self._schedule_burst_open(burst)
 
     # ------------------------------------------------------------------
     # Tenant mode (new streams only; see PERFORMANCE.md rule 3)

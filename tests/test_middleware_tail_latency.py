@@ -279,3 +279,136 @@ def test_hedged_pipeline_shares_one_tracker_across_stages():
     hedging = cluster.pipeline.get("request-hedging")
     routing = cluster.pipeline.get("rtt-aware-write-routing")
     assert selection.tracker is hedging.tracker is routing.tracker
+
+
+# ----------------------------------------------------------------------
+# Per-key hedging budget (hot keys hedge at a tighter fraction)
+# ----------------------------------------------------------------------
+def _bare_hedging(**overrides):
+    defaults = dict(operation_timeout=1.0, budget_fraction=0.05)
+    defaults.update(overrides)
+    return RequestHedging(NodeRttTracker(), **defaults)
+
+
+def test_hot_key_hedges_at_tighter_budget_cold_keys_do_not():
+    hedging = _bare_hedging(hot_key_fraction=0.5, hot_key_threshold=4)
+    live, targets = ["n1", "n2"], ["n1"]
+    base = hedging.static_budget
+    hot = make_read_ctx(key="hot")
+    budgets = [hedging.hedge_read(hot, live, targets)[0] for _ in range(6)]
+    # Below the threshold the full budget applies; at and past it, half.
+    assert budgets[:3] == [base] * 3
+    assert budgets[3:] == [base * 0.5] * 3
+    assert hedging.hot_key_hedges == 3
+    # A cold key is unaffected by the hot one.
+    cold = make_read_ctx(key="cold")
+    assert hedging.hedge_read(cold, live, targets)[0] == base
+
+
+def test_hot_key_budget_never_goes_below_min_budget():
+    hedging = _bare_hedging(
+        budget=0.002, min_budget=0.0015, hot_key_fraction=0.25, hot_key_threshold=1
+    )
+    ctx = make_read_ctx(key="hot")
+    budget, _ = hedging.hedge_read(ctx, ["n1", "n2"], ["n1"])
+    assert budget == 0.0015  # 0.002 * 0.25 clamped up to min_budget
+
+
+def test_hot_key_counts_decay_by_halving():
+    hedging = _bare_hedging(
+        hot_key_fraction=0.5, hot_key_threshold=100, hot_key_decay_every=4
+    )
+    ctx = make_read_ctx(key="k")
+    for _ in range(4):
+        hedging.hedge_read(ctx, ["n1", "n2"], ["n1"])
+    # 4 arms then decay: count 4 -> 2; a 5th arm makes it 3.
+    hedging.hedge_read(ctx, ["n1", "n2"], ["n1"])
+    assert hedging._key_counts["k"] == 3
+    assert hedging.describe()["hot_keys_tracked"] == 1
+
+
+def test_hot_key_tracking_disabled_at_fraction_one():
+    hedging = _bare_hedging(hot_key_fraction=1.0, hot_key_threshold=1)
+    ctx = make_read_ctx(key="k")
+    for _ in range(5):
+        hedging.hedge_read(ctx, ["n1", "n2"], ["n1"])
+    assert hedging.hot_key_hedges == 0
+    assert hedging._key_counts == {}
+
+
+def test_hedge_read_tolerates_missing_context():
+    # Unit-level callers (and some tools) pass ctx=None; no key tracking.
+    hedging = _bare_hedging(hot_key_threshold=1)
+    budget, spares = hedging.hedge_read(None, ["n1", "n2"], ["n1"])
+    assert budget == hedging.static_budget
+    assert spares == ["n2"]
+
+
+# ----------------------------------------------------------------------
+# Amortised (cached) dynamic budget
+# ----------------------------------------------------------------------
+def test_budget_source_is_polled_once_per_refresh_interval():
+    clock = {"now": 0.0}
+    calls = {"n": 0}
+
+    def source():
+        calls["n"] += 1
+        return 0.012
+
+    hedging = _bare_hedging(
+        clock=lambda: clock["now"], budget_refresh_interval=0.5
+    )
+    hedging.attach_budget_source(source)
+    for _ in range(10):
+        assert hedging.current_budget() == 0.012
+    assert calls["n"] == 1  # cached within the interval
+    clock["now"] = 0.5
+    assert hedging.current_budget() == 0.012
+    assert calls["n"] == 2  # refreshed exactly once at expiry
+
+
+def test_budget_cache_absent_without_clock():
+    calls = {"n": 0}
+
+    def source():
+        calls["n"] += 1
+        return 0.012
+
+    hedging = _bare_hedging()
+    hedging.attach_budget_source(source)
+    hedging.current_budget()
+    hedging.current_budget()
+    assert calls["n"] == 2  # original recompute-every-call semantics
+
+
+def test_hedging_declares_wheel_granularity_and_pipeline_surfaces_it():
+    from repro.middleware.base import MiddlewarePipeline
+
+    hedging = _bare_hedging(timer_granularity=0.025)
+    pipeline = MiddlewarePipeline([hedging])
+    assert pipeline.timer_granularity == 0.025
+    # Opting out keeps the pipeline on the direct heap path.
+    plain = MiddlewarePipeline([_bare_hedging(timer_granularity=None)])
+    assert plain.timer_granularity is None
+
+
+def test_hedged_cluster_routes_timers_through_the_wheel():
+    simulator = Simulator(seed=11)
+    cluster = make_cluster(simulator, middleware=HEDGED_PIPELINE)
+    coordinator = cluster.coordinator
+    assert coordinator.timers is not None
+    assert coordinator.timers.granularity == 0.025
+    cluster.preload({"k": b"v"}, {"k": 1})
+    done = []
+    cluster.read("k", on_complete=done.append)
+    simulator.run_until(5.0)
+    assert done and done[0].success
+    stats = coordinator.timer_stats()
+    assert stats["timers_armed"] > 0
+
+
+def test_default_cluster_never_constructs_a_timer_wheel():
+    simulator = Simulator(seed=11)
+    cluster = make_cluster(simulator)
+    assert cluster.coordinator.timers is None
+    assert cluster.coordinator.timer_stats() == {}

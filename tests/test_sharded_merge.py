@@ -290,9 +290,11 @@ def test_open_loop_uses_dedicated_streams():
         assert f"workload:workload:{suffix}" in issued, issued
 
 
-def test_open_loop_rejects_tenant_populations():
-    with pytest.raises(ValueError, match="open_loop"):
-        WorkloadSpec(open_loop=True, tenants=TenantSpec(tenants=5))
+def test_open_loop_accepts_tenant_populations():
+    # Once rejected; per-tenant chunked streams now make the combination
+    # legal (full behavioural coverage lives in test_workload_tenants.py).
+    spec = WorkloadSpec(open_loop=True, tenants=TenantSpec(tenants=5))
+    assert spec.open_loop and spec.tenants is not None
 
 
 def test_open_loop_differs_from_closed_loop_but_same_magnitude():

@@ -289,3 +289,160 @@ def test_tenantless_run_is_bit_identical_with_admission_stage_installed():
     assert shielded.events_processed == plain.events_processed
     assert shielded.ground_truth_window == plain.ground_truth_window
     assert shielded.workload_summary["operations_rejected"] == 0
+
+
+# ----------------------------------------------------------------------
+# Open-loop tenant arrivals (per-tenant chunked streams; rule 3)
+# ----------------------------------------------------------------------
+def make_open_loop_generator(simulator, tenants=None, rate=100.0, overrides=None):
+    cluster = Cluster(
+        simulator,
+        ClusterConfig(
+            initial_nodes=3, replication_factor=3, node=NodeConfig(ops_capacity=2000.0)
+        ),
+    )
+    spec = WorkloadSpec(
+        record_count=200,
+        operation_mix=BALANCED,
+        load_shape=ConstantLoad(rate),
+        open_loop=True,
+        tenants=(
+            TenantSpec(
+                tenants=tenants,
+                records_per_tenant=20,
+                load_shape_overrides=overrides or {},
+            )
+            if tenants is not None
+            else None
+        ),
+    )
+    return cluster, WorkloadGenerator(simulator, cluster, spec)
+
+
+def test_open_loop_tenant_run_partitions_stats_and_completes():
+    simulator = Simulator(seed=13)
+    _cluster, generator = make_open_loop_generator(simulator, tenants=6, rate=150.0)
+    generator.preload()
+    generator.start()
+    simulator.run_until(20.0)
+    stats = generator.stats
+    assert stats.operations_issued > 0
+    per_tenant = stats.tenant_stats
+    assert per_tenant is not None and len(per_tenant) == 6
+    assert sum(t.reads_issued for t in per_tenant.values()) == stats.reads_issued
+    assert sum(t.writes_issued for t in per_tenant.values()) == stats.writes_issued
+    assert stats.reads_completed + stats.writes_completed > 0
+
+
+def test_open_loop_tenant_draws_use_dedicated_chunked_streams():
+    """Rule 3: the open-loop tenant mode opens only its own new streams."""
+    simulator = Simulator(seed=13)
+    _cluster, generator = make_open_loop_generator(
+        simulator,
+        tenants=8,
+        overrides={2: FlashCrowdLoad(0.0, 50.0, 10.0, 5.0, 20.0, 5.0)},
+    )
+    generator.preload()
+    generator.start()
+    simulator.run_until(15.0)
+    opened = set(simulator.streams.known_streams())
+    # Shared open-loop streams plus the chunked tenant pick.
+    for name in (
+        "workload:workload:gap",
+        "workload:workload:mix",
+        "workload:workload:key",
+        "workload:workload:size",
+        "workload:workload:tenant",
+    ):
+        assert name in opened, opened
+    # The burst override owns four dedicated chunked streams...
+    for suffix in ("gap", "mix", "key", "size"):
+        assert f"workload:workload:tenant:2:{suffix}" in opened, opened
+    # ...and the classic interleaved per-tenant stream is never opened.
+    assert "workload:workload:tenant:2" not in opened
+
+
+def test_open_loop_tenant_mode_keeps_shared_streams_tenantless_identical():
+    """The tenant dimension must not reorder the shared open-loop draws.
+
+    Both runs issue the same main-process arrival sequence, so after equal
+    sim time each shared stream must sit at the same position — probed by
+    comparing the *next* draw from each.
+    """
+    results = []
+    for tenants in (None, 6):
+        simulator = Simulator(seed=29)
+        _cluster, generator = make_open_loop_generator(
+            simulator, tenants=tenants, rate=120.0
+        )
+        generator.preload()
+        generator.start()
+        simulator.run_until(20.0)
+        generator.stop()
+        probes = tuple(
+            float(simulator.streams.stream(f"workload:workload:{suffix}").random())
+            for suffix in ("gap", "mix", "key", "size")
+        )
+        results.append((generator.stats.operations_issued, probes))
+    (plain_issued, plain_probes), (tenant_issued, tenant_probes) = results
+    assert tenant_issued == plain_issued
+    assert tenant_probes == plain_probes
+
+
+def test_tenantless_open_loop_never_opens_tenant_streams():
+    simulator = Simulator(seed=29)
+    _cluster, generator = make_open_loop_generator(simulator, tenants=None)
+    generator.preload()
+    generator.start()
+    simulator.run_until(10.0)
+    opened = simulator.streams.known_streams()
+    assert not any(":tenant" in name for name in opened), opened
+
+
+def test_open_loop_tenant_runs_are_deterministic_for_a_seed():
+    def run():
+        simulator = Simulator(seed=31)
+        _cluster, generator = make_open_loop_generator(
+            simulator,
+            tenants=5,
+            rate=120.0,
+            overrides={1: FlashCrowdLoad(0.0, 60.0, 5.0, 4.0, 15.0, 4.0)},
+        )
+        generator.preload()
+        generator.start()
+        simulator.run_until(25.0)
+        stats = generator.stats
+        return (
+            stats.operations_issued,
+            stats.reads_completed,
+            stats.writes_completed,
+            tuple(
+                (tid, t.reads_issued, t.writes_issued)
+                for tid, t in sorted(stats.tenant_stats.items())
+            ),
+        )
+
+    assert run() == run()
+
+
+def test_open_loop_burst_override_adds_traffic_only_for_its_tenant():
+    def issued_by_tenant(overrides):
+        simulator = Simulator(seed=37)
+        _cluster, generator = make_open_loop_generator(
+            simulator, tenants=6, rate=100.0, overrides=overrides
+        )
+        generator.preload()
+        generator.start()
+        simulator.run_until(30.0)
+        return {
+            tid: t.operations_issued
+            for tid, t in generator.stats.tenant_stats.items()
+        }
+
+    base = issued_by_tenant({})
+    boosted = issued_by_tenant({4: ConstantLoad(60.0)})
+    assert boosted["t4"] > base["t4"]
+    # Other tenants' main-process traffic is untouched (dedicated streams).
+    for tid in base:
+        if tid != "t4":
+            assert boosted[tid] == base[tid]
